@@ -1,0 +1,377 @@
+// Package hetcore_test benchmarks regenerate every table and figure of
+// the paper's evaluation. Each benchmark runs the corresponding
+// experiment and reports the paper's headline quantities as custom
+// metrics (suffix _norm = normalised to BaseCMOS), so a
+// `go test -bench=. -benchmem` run doubles as a results report.
+//
+// The CPU/GPU figure benchmarks use a reduced workload subset and
+// instruction budget per iteration; the harness and hetsim tests cover
+// the full suite.
+package hetcore_test
+
+import (
+	"testing"
+
+	"hetcore/internal/device"
+	"hetcore/internal/gpu"
+	"hetcore/internal/harness"
+	"hetcore/internal/hetsim"
+	"hetcore/internal/trace"
+)
+
+// benchOpts keeps per-iteration cost manageable.
+var benchOpts = harness.Options{
+	Instructions: 80_000,
+	Seed:         1,
+	Workloads:    []string{"barnes", "lu", "canneal"},
+	Kernels:      []string{"MatrixMultiplication", "Histogram", "PrefixSum"},
+}
+
+func reportAverages(b *testing.B, t harness.Table, cols ...string) {
+	b.Helper()
+	for _, c := range cols {
+		v, err := t.Cell("Average", c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, c+"_norm")
+	}
+}
+
+// BenchmarkTableI regenerates Table I (device characteristics).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := harness.TableI()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(device.Characterize(device.HetJTFET).DelayRatio(), "tfet_delay_ratio")
+}
+
+// BenchmarkFig1 regenerates Figure 1 (I-V curves).
+func BenchmarkFig1(b *testing.B) {
+	tfet, mos := device.NHetJTFET(), device.NMOSFET()
+	var cross float64
+	for i := 0; i < b.N; i++ {
+		v, err := device.CrossoverVoltage(tfet, mos, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross = v
+	}
+	b.ReportMetric(cross, "crossover_V")
+}
+
+// BenchmarkFig2 regenerates Figure 2 (ALU power vs activity).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := device.ActivitySweep(10)
+		if len(pts) != 11 {
+			b.Fatal("bad sweep")
+		}
+	}
+	b.ReportMetric(device.IdleLeakageRatio(), "idle_ratio")
+}
+
+// BenchmarkFig3 regenerates Figure 3 (Vdd-frequency curves and DVFS pairs).
+func BenchmarkFig3(b *testing.B) {
+	d := device.NewDVFS()
+	var turbo device.VoltagePair
+	for i := 0; i < b.N; i++ {
+		p, err := d.PairFor(2.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		turbo = p
+	}
+	nom := d.Nominal()
+	b.ReportMetric((turbo.VCMOS-nom.VCMOS)*1000, "dV_cmos_mV")
+	b.ReportMetric((turbo.VTFET-nom.VTFET)*1000, "dV_tfet_mV")
+}
+
+// BenchmarkFig7 regenerates Figure 7 (CPU execution time).
+func BenchmarkFig7(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig7(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, t, "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X")
+}
+
+// BenchmarkFig8 regenerates Figure 8 (CPU energy).
+func BenchmarkFig8(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig8(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, t, "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X")
+}
+
+// BenchmarkFig9 regenerates Figure 9 (CPU ED²).
+func BenchmarkFig9(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig9(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, t, "BaseHet", "AdvHet", "AdvHet-2X")
+}
+
+// BenchmarkFig10 regenerates Figure 10 (GPU execution time).
+func BenchmarkFig10(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig10(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, t, "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X")
+}
+
+// BenchmarkFig11 regenerates Figure 11 (GPU energy).
+func BenchmarkFig11(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig11(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, t, "BaseTFET", "BaseHet", "AdvHet")
+}
+
+// BenchmarkFig12 regenerates Figure 12 (GPU ED²).
+func BenchmarkFig12(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig12(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, t, "AdvHet", "AdvHet-2X")
+}
+
+// BenchmarkFig13 regenerates Figure 13 (design sensitivity).
+func BenchmarkFig13(b *testing.B) {
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig13(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v, err := t.Cell("AdvHet", "ED2"); err == nil {
+		b.ReportMetric(v, "advhet_ed2_norm")
+	}
+	if v, err := t.Cell("BaseL3", "energy"); err == nil {
+		b.ReportMetric(v, "basel3_energy_norm")
+	}
+}
+
+// BenchmarkFig14 regenerates Figure 14 (DVFS and process variation).
+func BenchmarkFig14(b *testing.B) {
+	opts := benchOpts
+	opts.Workloads = []string{"barnes", "lu"}
+	var t harness.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = harness.Fig14(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if base, err := t.Cell("BaseFreq-2GHz", "AdvHet"); err == nil {
+		b.ReportMetric(base, "advhet_2GHz_norm")
+	}
+	if boost, err := t.Cell("BoostFreq-2.5GHz", "AdvHet"); err == nil {
+		b.ReportMetric(boost, "advhet_2.5GHz_norm")
+	}
+}
+
+// --- Ablation benchmarks for the design choices DESIGN.md calls out. ---
+
+func runCPUNorm(b *testing.B, name string, prof trace.Profile) hetsim.CPUResult {
+	b.Helper()
+	cfg, err := hetsim.CPUConfigByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := hetsim.RunCPU(cfg, prof, hetsim.RunOpts{TotalInstructions: 80_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkAblationDualSpeedALU isolates the dual-speed ALU cluster
+// (BaseHet-Enh vs BaseHet-Split).
+func BenchmarkAblationDualSpeedALU(b *testing.B) {
+	prof, _ := trace.CPUWorkload("radix") // integer-heavy: ALU-sensitive
+	var enh, split hetsim.CPUResult
+	for i := 0; i < b.N; i++ {
+		enh = runCPUNorm(b, "BaseHet-Enh", prof)
+		split = runCPUNorm(b, "BaseHet-Split", prof)
+	}
+	b.ReportMetric(split.TimeSec/enh.TimeSec, "split_vs_enh_time")
+}
+
+// BenchmarkAblationAsymDL1 isolates the asymmetric DL1 (BaseHet-Split vs
+// AdvHet).
+func BenchmarkAblationAsymDL1(b *testing.B) {
+	prof, _ := trace.CPUWorkload("canneal") // load-use heavy: DL1-sensitive
+	var split, adv hetsim.CPUResult
+	for i := 0; i < b.N; i++ {
+		split = runCPUNorm(b, "BaseHet-Split", prof)
+		adv = runCPUNorm(b, "AdvHet", prof)
+	}
+	b.ReportMetric(adv.TimeSec/split.TimeSec, "advhet_vs_split_time")
+	b.ReportMetric(adv.FastHitRate, "fast_hit_rate")
+}
+
+// BenchmarkAblationRFCache isolates the GPU register file cache (BaseHet
+// vs AdvHet).
+func BenchmarkAblationRFCache(b *testing.B) {
+	k, err := gpu.KernelByName("Reduction")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var het, adv hetsim.GPUResult
+	for i := 0; i < b.N; i++ {
+		hc, _ := hetsim.GPUConfigByName("BaseHet")
+		ac, _ := hetsim.GPUConfigByName("AdvHet")
+		het, err = hetsim.RunGPU(hc, k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv, err = hetsim.RunGPU(ac, k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(adv.TimeSec/het.TimeSec, "advhet_vs_basehet_time")
+	b.ReportMetric(adv.RFCacheHitRate, "rf_cache_hit_rate")
+}
+
+// BenchmarkCoreThroughput measures raw simulator speed (simulated
+// instructions per second) — useful when sizing experiment budgets.
+func BenchmarkCoreThroughput(b *testing.B) {
+	cfg, _ := hetsim.CPUConfigByName("BaseCMOS")
+	prof, _ := trace.CPUWorkload("lu")
+	opts := hetsim.RunOpts{TotalInstructions: 100_000, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hetsim.RunCPU(cfg, prof, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(opts.TotalInstructions)*float64(b.N)/b.Elapsed().Seconds(), "sim_insts/s")
+}
+
+// BenchmarkGPUThroughput measures GPU simulator speed.
+func BenchmarkGPUThroughput(b *testing.B) {
+	cfg, _ := hetsim.GPUConfigByName("BaseCMOS")
+	k, _ := gpu.KernelByName("DCT")
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		r, err := hetsim.RunGPU(cfg, k, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.WaveInsts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "wave_insts/s")
+}
+
+// BenchmarkAblationCMAFPU isolates the Section IV-C4 CMA-multiplier FPU
+// alternative (AdvHet vs AdvHet-CMA).
+func BenchmarkAblationCMAFPU(b *testing.B) {
+	prof, _ := trace.CPUWorkload("blackscholes") // FP-heavy
+	var adv, cma hetsim.CPUResult
+	for i := 0; i < b.N; i++ {
+		adv = runCPUNorm(b, "AdvHet", prof)
+		cma = runCPUNorm(b, "AdvHet-CMA", prof)
+	}
+	b.ReportMetric(cma.TimeSec/adv.TimeSec, "cma_vs_fma_time")
+	b.ReportMetric(cma.Energy.Total()/adv.Energy.Total(), "cma_vs_fma_energy")
+}
+
+// BenchmarkAblationPartitionedRF compares the related-work partitioned
+// register file against the AdvHet RF cache on the same TFET GPU.
+func BenchmarkAblationPartitionedRF(b *testing.B) {
+	k, _ := gpu.KernelByName("MatrixMultiplication")
+	var cache, part hetsim.GPUResult
+	for i := 0; i < b.N; i++ {
+		cc, _ := hetsim.GPUConfigByName("AdvHet")
+		pc, _ := hetsim.GPUConfigByName("AdvHet-PartRF")
+		var err error
+		if cache, err = hetsim.RunGPU(cc, k, 1); err != nil {
+			b.Fatal(err)
+		}
+		if part, err = hetsim.RunGPU(pc, k, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(part.TimeSec/cache.TimeSec, "partrf_vs_rfcache_time")
+}
+
+// BenchmarkAblationCompilerScheduling quantifies the future-work headroom
+// of latency-aware kernel scheduling on the BaseHet GPU.
+func BenchmarkAblationCompilerScheduling(b *testing.B) {
+	base, _ := gpu.KernelByName("PrefixSum") // dependency-dense
+	sched, err := base.CompilerScheduled(0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, _ := hetsim.GPUConfigByName("BaseHet")
+	var plain, opt hetsim.GPUResult
+	for i := 0; i < b.N; i++ {
+		if plain, err = hetsim.RunGPU(cfg, base, 1); err != nil {
+			b.Fatal(err)
+		}
+		if opt, err = hetsim.RunGPU(cfg, sched, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(opt.TimeSec/plain.TimeSec, "scheduled_vs_plain_time")
+}
+
+// BenchmarkAblationMigration regenerates the Section VIII comparison on
+// one workload.
+func BenchmarkAblationMigration(b *testing.B) {
+	prof, _ := trace.CPUWorkload("barnes")
+	opts := hetsim.RunOpts{TotalInstructions: 80_000, Seed: 1}
+	var adv hetsim.CPUResult
+	var cmp hetsim.HeteroCMPResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		advCfg, _ := hetsim.CPUConfigByName("AdvHet")
+		if adv, err = hetsim.RunCPU(advCfg, prof, opts); err != nil {
+			b.Fatal(err)
+		}
+		if cmp, err = hetsim.RunHeteroCMP(hetsim.DefaultHeteroCMP(), prof, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.TimeSec/adv.TimeSec, "migrationCMP_vs_advhet_time")
+	b.ReportMetric(cmp.Energy.Total()/adv.Energy.Total(), "migrationCMP_vs_advhet_energy")
+}

@@ -1,0 +1,153 @@
+// Command hetcore reproduces the tables and figures of "HetCore:
+// TFET-CMOS Hetero-Device Architecture for CPUs and GPUs" (ISCA 2018).
+//
+// Usage:
+//
+//	hetcore list
+//	hetcore run -exp fig7 [-instr N] [-seed S] [-workloads a,b] [-kernels X,Y] [-csv]
+//	hetcore all [-instr N] [-seed S] [-csv]
+//
+// "run" executes one experiment; "all" executes the full evaluation in
+// paper order. Figures 7-9 and 13-14 simulate the 14 CPU workloads on
+// every configuration, so expect tens of seconds at the default
+// instruction budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetcore/internal/harness"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "run":
+		err = run(os.Args[2:])
+	case "all":
+		err = all(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hetcore: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetcore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `hetcore - HetCore (ISCA 2018) reproduction harness
+
+Commands:
+  list                 list all experiments
+  run -exp <id> [...]  run one experiment (e.g. fig7, table1)
+  all [...]            run every experiment in paper order
+
+Flags for run/all:
+  -instr N             total instructions per CPU run (default 400000)
+  -seed S              workload synthesis seed (default 1)
+  -workloads a,b,c     restrict CPU workloads
+  -kernels X,Y         restrict GPU kernels
+  -csv                 emit CSV instead of aligned text
+`)
+}
+
+func commonFlags(fs *flag.FlagSet) (*uint64, *uint64, *string, *string, *bool) {
+	instr := fs.Uint64("instr", 0, "total instructions per CPU run")
+	seed := fs.Uint64("seed", 1, "workload synthesis seed")
+	workloads := fs.String("workloads", "", "comma-separated CPU workload subset")
+	kernels := fs.String("kernels", "", "comma-separated GPU kernel subset")
+	csv := fs.Bool("csv", false, "emit CSV")
+	return instr, seed, workloads, kernels, csv
+}
+
+// emit writes a table in the selected format.
+func emit(t harness.Table, csv, js bool) error {
+	switch {
+	case js:
+		return t.JSON(os.Stdout)
+	case csv:
+		return t.CSV(os.Stdout)
+	default:
+		return t.Format(os.Stdout)
+	}
+}
+
+func buildOptions(instr, seed uint64, workloads, kernels string) harness.Options {
+	opts := harness.Options{Instructions: instr, Seed: seed}
+	if workloads != "" {
+		opts.Workloads = strings.Split(workloads, ",")
+	}
+	if kernels != "" {
+		opts.Kernels = strings.Split(kernels, ",")
+	}
+	return opts
+}
+
+func list() error {
+	for _, e := range harness.Experiments() {
+		fmt.Printf("%-8s %-12s %s\n", e.ID, "("+e.PaperRef+")", e.Title)
+	}
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	exp := fs.String("exp", "", "experiment ID (see 'hetcore list')")
+	instr, seed, workloads, kernels, csv := commonFlags(fs)
+	js := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exp == "" {
+		return fmt.Errorf("run requires -exp (see 'hetcore list')")
+	}
+	e, err := harness.ByID(*exp)
+	if err != nil {
+		return err
+	}
+	t, err := e.Run(buildOptions(*instr, *seed, *workloads, *kernels))
+	if err != nil {
+		return err
+	}
+	return emit(t, *csv, *js)
+}
+
+func all(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	instr, seed, workloads, kernels, csv := commonFlags(fs)
+	js := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := buildOptions(*instr, *seed, *workloads, *kernels)
+	for _, e := range harness.Experiments() {
+		t, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv || *js {
+			fmt.Printf("# %s (%s)\n", e.ID, e.PaperRef)
+		}
+		if err := emit(t, *csv, *js); err != nil {
+			return err
+		}
+		if *csv || *js {
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Command hetrace inspects and snapshots the synthetic workload traces.
+//
+// Usage:
+//
+//	hetrace stats -workload barnes [-n 200000] [-seed S] [-core C]
+//	hetrace dump  -workload barnes -o barnes.trc [-n 200000]
+//	hetrace stats -in barnes.trc
+//
+// "dump" serialises a workload to the compact binary trace format;
+// "stats" summarises either a live workload or a trace file: instruction
+// mix, branch behaviour, dependency structure and data footprint — the
+// quantities the profiles in internal/trace are calibrated against.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetcore/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = stats(os.Args[2:])
+	case "dump":
+		err = dump(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `hetrace - workload trace inspection
+
+  hetrace stats -workload <name> [-n N] [-seed S] [-core C]
+  hetrace stats -in <file.trc>
+  hetrace dump  -workload <name> -o <file.trc> [-n N] [-seed S] [-core C]
+`)
+}
+
+func commonFlags(fs *flag.FlagSet) (*string, *uint64, *uint64, *int) {
+	workload := fs.String("workload", "", "CPU workload name")
+	n := fs.Uint64("n", 200_000, "instructions")
+	seed := fs.Uint64("seed", 1, "synthesis seed")
+	core := fs.Int("core", 0, "core ID")
+	return workload, n, seed, core
+}
+
+func stats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	workload, n, seed, core := commonFlags(fs)
+	in := fs.String("in", "", "trace file to read instead of a live workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var s trace.Summary
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		s = trace.Summarize(r, r.Remaining())
+		if r.Err() != nil {
+			return r.Err()
+		}
+	case *workload != "":
+		p, err := trace.CPUWorkload(*workload)
+		if err != nil {
+			return err
+		}
+		g, err := trace.NewGenerator(p, *seed, *core)
+		if err != nil {
+			return err
+		}
+		s = trace.Summarize(g, *n)
+	default:
+		return fmt.Errorf("stats needs -workload or -in")
+	}
+	printSummary(s)
+	return nil
+}
+
+func printSummary(s trace.Summary) {
+	fmt.Printf("instructions   %d\n", s.Instructions)
+	names := []string{"alu", "mul", "div", "fadd", "fmul", "fdiv", "ld", "st", "br"}
+	for i, name := range names {
+		c := s.OpCounts[i]
+		fmt.Printf("  %-5s %9d  (%.1f%%)\n", name, c, 100*float64(c)/float64(s.Instructions))
+	}
+	fmt.Printf("branches taken %.1f%%\n", s.TakenRate()*100)
+	fmt.Printf("mean dep dist  %.2f\n", s.MeanDep1())
+	fmt.Printf("two-source     %.1f%%\n", 100*float64(s.Dep2Count)/float64(s.Instructions))
+	fmt.Printf("shared mem ops %.2f%%\n", 100*float64(s.SharedOps)/float64(s.MemOps))
+	fmt.Printf("data footprint %.1f KB\n", float64(s.WorkingSetBytes())/1024)
+}
+
+func dump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	workload, n, seed, core := commonFlags(fs)
+	out := fs.String("o", "", "output trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workload == "" || *out == "" {
+		return fmt.Errorf("dump needs -workload and -o")
+	}
+	p, err := trace.CPUWorkload(*workload)
+	if err != nil {
+		return err
+	}
+	g, err := trace.NewGenerator(p, *seed, *core)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteTrace(f, g, *n); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", *n, *workload, *out)
+	return nil
+}

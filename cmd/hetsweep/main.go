@@ -1,0 +1,198 @@
+// Command hetsweep runs parameter sensitivity sweeps around the AdvHet
+// design point — the knobs DESIGN.md calls out as design decisions:
+//
+//	fastsize    asymmetric-DL1 CMOS way capacity (KB)
+//	steerwindow dual-speed ALU steering lookahead (instructions)
+//	rfentries   GPU register-file-cache entries per thread
+//	waves       GPU resident wavefronts per CU
+//	prefetch    next-line prefetcher on/off
+//
+// Usage:
+//
+//	hetsweep -sweep fastsize [-workload barnes] [-instr N] [-seed S]
+//	hetsweep -sweep rfentries [-kernel Reduction]
+//
+// Each row reports time, energy and ED² normalised to the default AdvHet
+// configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetcore/internal/gpu"
+	"hetcore/internal/hetsim"
+	"hetcore/internal/trace"
+)
+
+func main() {
+	sweep := flag.String("sweep", "", "fastsize | steerwindow | rfentries | waves | prefetch")
+	workload := flag.String("workload", "barnes", "CPU workload for CPU sweeps")
+	kernel := flag.String("kernel", "Reduction", "GPU kernel for GPU sweeps")
+	instr := flag.Uint64("instr", 250_000, "total instructions per CPU run")
+	seed := flag.Uint64("seed", 1, "workload synthesis seed")
+	flag.Parse()
+
+	var err error
+	switch *sweep {
+	case "fastsize":
+		err = sweepFastSize(*workload, *instr, *seed)
+	case "steerwindow":
+		err = sweepSteerWindow(*workload, *instr, *seed)
+	case "prefetch":
+		err = sweepPrefetch(*workload, *instr, *seed)
+	case "rfentries":
+		err = sweepRFEntries(*kernel, *seed)
+	case "waves":
+		err = sweepWaves(*kernel, *seed)
+	case "":
+		flag.Usage()
+		os.Exit(2)
+	default:
+		err = fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsweep:", err)
+		os.Exit(1)
+	}
+}
+
+type row struct {
+	label             string
+	time, energy, ed2 float64
+}
+
+func printRows(title string, rows []row) {
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("%-16s %8s %8s %8s\n", "value", "time", "energy", "ED2")
+	base := rows[0]
+	for _, r := range rows {
+		fmt.Printf("%-16s %8.3f %8.3f %8.3f\n",
+			r.label, r.time/base.time, r.energy/base.energy, r.ed2/base.ed2)
+	}
+	fmt.Println("-- normalised to the first row")
+}
+
+func runCPUVariant(cfg hetsim.CPUConfig, workload string, instr, seed uint64) (row, error) {
+	prof, err := trace.CPUWorkload(workload)
+	if err != nil {
+		return row{}, err
+	}
+	r, err := hetsim.RunCPU(cfg, prof, hetsim.RunOpts{TotalInstructions: instr, Seed: seed})
+	if err != nil {
+		return row{}, err
+	}
+	return row{time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}, nil
+}
+
+func sweepFastSize(workload string, instr, seed uint64) error {
+	// The FastCache is one way's worth of the DL1, so its capacity is
+	// swept by changing the associativity: 16-way -> 2 KB fast way,
+	// 8-way -> 4 KB (default), 4-way -> 8 KB, 2-way -> 16 KB.
+	var rows []row
+	for _, ways := range []int{8, 16, 4, 2} { // default first
+		cfg, err := hetsim.CPUConfigByName("AdvHet")
+		if err != nil {
+			return err
+		}
+		cfg.Hier.DL1Ways = ways
+		cfg.Hier.FastSize = cfg.Hier.DL1Size / ways
+		r, err := runCPUVariant(cfg, workload, instr, seed)
+		if err != nil {
+			return err
+		}
+		r.label = fmt.Sprintf("fast=%dKB/%dway", cfg.Hier.FastSize/1024, ways)
+		rows = append(rows, r)
+	}
+	printRows(fmt.Sprintf("AdvHet asymmetric-DL1 fast-way size (%s)", workload), rows)
+	return nil
+}
+
+func sweepSteerWindow(workload string, instr, seed uint64) error {
+	var rows []row
+	for _, w := range []int{4, 1, 2, 8} { // default (issue width) first
+		cfg, err := hetsim.CPUConfigByName("AdvHet")
+		if err != nil {
+			return err
+		}
+		cfg.Core.SteerWindow = w
+		r, err := runCPUVariant(cfg, workload, instr, seed)
+		if err != nil {
+			return err
+		}
+		r.label = fmt.Sprintf("window=%d", w)
+		rows = append(rows, r)
+	}
+	printRows(fmt.Sprintf("AdvHet dual-speed ALU steering window (%s)", workload), rows)
+	return nil
+}
+
+func sweepPrefetch(workload string, instr, seed uint64) error {
+	var rows []row
+	for _, on := range []bool{true, false} {
+		cfg, err := hetsim.CPUConfigByName("AdvHet")
+		if err != nil {
+			return err
+		}
+		cfg.Hier.NextLinePrefetch = on
+		r, err := runCPUVariant(cfg, workload, instr, seed)
+		if err != nil {
+			return err
+		}
+		r.label = fmt.Sprintf("prefetch=%v", on)
+		rows = append(rows, r)
+	}
+	printRows(fmt.Sprintf("Next-line prefetcher (%s)", workload), rows)
+	return nil
+}
+
+func runGPUVariant(cfg hetsim.GPUConfig, kernel string, seed uint64) (row, error) {
+	k, err := gpu.KernelByName(kernel)
+	if err != nil {
+		return row{}, err
+	}
+	r, err := hetsim.RunGPU(cfg, k, seed)
+	if err != nil {
+		return row{}, err
+	}
+	return row{time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}, nil
+}
+
+func sweepRFEntries(kernel string, seed uint64) error {
+	var rows []row
+	for _, n := range []int{6, 2, 4, 8, 12} { // default first
+		cfg, err := hetsim.GPUConfigByName("AdvHet")
+		if err != nil {
+			return err
+		}
+		cfg.Dev.RFCacheEntries = n
+		r, err := runGPUVariant(cfg, kernel, seed)
+		if err != nil {
+			return err
+		}
+		r.label = fmt.Sprintf("entries=%d", n)
+		rows = append(rows, r)
+	}
+	printRows(fmt.Sprintf("AdvHet GPU RF-cache entries per thread (%s)", kernel), rows)
+	return nil
+}
+
+func sweepWaves(kernel string, seed uint64) error {
+	var rows []row
+	for _, n := range []int{6, 2, 4, 10, 16} { // default first
+		cfg, err := hetsim.GPUConfigByName("AdvHet")
+		if err != nil {
+			return err
+		}
+		cfg.Dev.MaxWavesPerCU = n
+		r, err := runGPUVariant(cfg, kernel, seed)
+		if err != nil {
+			return err
+		}
+		r.label = fmt.Sprintf("waves=%d", n)
+		rows = append(rows, r)
+	}
+	printRows(fmt.Sprintf("GPU resident wavefronts per CU (%s)", kernel), rows)
+	return nil
+}

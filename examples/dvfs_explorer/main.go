@@ -1,0 +1,65 @@
+// dvfs_explorer walks the device-level models: the Table I technology
+// comparison, the Figure 3 Vdd-frequency curves, the DVFS voltage-pair
+// solver (Section III-D), the multi-Vdd overhead chain (Section V-B) and
+// the process-variation guardbands (Section VII-D).
+//
+// Run with: go run ./examples/dvfs_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetcore/internal/device"
+)
+
+func main() {
+	fmt.Println("Technology comparison at 15 nm (Table I):")
+	for _, tech := range device.Technologies {
+		c := device.Characterize(tech)
+		fmt.Printf("  %-10s Vdd %.2fV  delay ×%.1f  ALU energy ÷%.1f  mixable with CMOS: %v\n",
+			tech, c.SupplyVoltage, c.DelayRatio(), c.ALUEnergyRatio(), c.MixableWithCMOS())
+	}
+
+	fmt.Println("\nMatched DVFS voltage pairs (CMOS at f, TFET at f/2 per stage):")
+	d := device.NewDVFS()
+	nom := d.Nominal()
+	for _, f := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		pair, err := d.PairFor(f)
+		if err != nil {
+			fmt.Printf("  %.1f GHz: unreachable (%v)\n", f, err)
+			continue
+		}
+		fmt.Printf("  %.1f GHz: V_CMOS=%.3fV (%+.0f mV)  V_TFET=%.3fV (%+.0f mV)\n",
+			f, pair.VCMOS, (pair.VCMOS-nom.VCMOS)*1000,
+			pair.VTFET, (pair.VTFET-nom.VTFET)*1000)
+	}
+	fmt.Printf("  highest matched frequency: %.2f GHz (TFET curve saturates)\n",
+		d.MaxFrequencyGHz())
+
+	fmt.Println("\nMulti-Vdd substrate overheads (Section V-B):")
+	o := device.DefaultOverheads()
+	fmt.Printf("  worst-case TFET stage delay overhead: %.0f%%\n", o.StageDelayOverhead()*100)
+	fmt.Printf("  V_TFET raised to %.2f V to hold the clock\n", o.GuardbandedVTFET())
+	fmt.Printf("  TFET power increase: %.0f%%\n", (o.TFETPowerIncrease()-1)*100)
+	fmt.Printf("  dynamic power advantage: 8x ideal -> %.1fx effective (paper assumes only %vx)\n",
+		o.EffectiveDynamicPowerSavings(), device.ConservativeDynamicPowerFactor)
+
+	fmt.Println("\nProcess-variation guardbands (Section VII-D):")
+	g := device.DefaultVariationGuardband()
+	gb := g.Apply(nom)
+	cs, ts := device.EnergyScales(nom, gb)
+	fmt.Printf("  ΔV_CMOS=%.0f mV, ΔV_TFET=%.0f mV\n", g.DeltaVCMOS*1000, g.DeltaVTFET*1000)
+	fmt.Printf("  dynamic energy grows: CMOS ×%.2f, TFET ×%.2f\n", cs.Dynamic, ts.Dynamic)
+
+	fmt.Println("\nFigure 2: ALU power ratio as activity falls:")
+	for _, p := range device.ActivitySweep(10) {
+		if p.Activity == 1 || p.Activity < 0.002 {
+			fmt.Printf("  activity %.4f: CMOS %.1f µW, TFET %.2f µW (×%.0f)\n",
+				p.Activity, p.CMOSUW, p.TFETUW, p.Ratio)
+		}
+	}
+	if device.IdleLeakageRatio() < 100 {
+		log.Fatal("idle ratio fell below 100x — device model broken")
+	}
+}

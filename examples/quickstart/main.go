@@ -1,0 +1,57 @@
+// Quickstart: simulate one SPLASH-2 workload on the all-CMOS baseline and
+// on the AdvHet hetero-device core, and compare time, energy and ED².
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetcore/internal/hetsim"
+	"hetcore/internal/trace"
+)
+
+func main() {
+	prof, err := trace.CPUWorkload("barnes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hetsim.RunOpts{TotalInstructions: 400_000, Seed: 1}
+
+	base, err := runConfig("BaseCMOS", prof, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv, err := runConfig("AdvHet", prof, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Workload: %s (%.0f%% floating point)\n\n", prof.Name, prof.FPFraction()*100)
+	show := func(r hetsim.CPUResult) {
+		fmt.Printf("%-10s %4d cores @ %.1f GHz\n", r.Config, r.Cores, 2.0)
+		fmt.Printf("  time      %8.1f µs   (%d cycles, IPC %.2f/core)\n",
+			r.TimeSec*1e6, r.Cycles, r.IPC)
+		fmt.Printf("  energy    %8.1f µJ   (%.0f%% dynamic)\n",
+			r.Energy.Total()*1e6, 100*r.Energy.Dynamic()/r.Energy.Total())
+		fmt.Printf("  DL1 hits  %8.1f %%    (fast-way %.1f%%)\n",
+			r.DL1HitRate*100, r.FastHitRate*100)
+		fmt.Printf("  ED2       %8.3g J·s²\n\n", r.ED2())
+	}
+	show(base)
+	show(adv)
+
+	fmt.Printf("AdvHet vs BaseCMOS: %.1f%% slower, %.1f%% less energy, ED2 ×%.2f\n",
+		(adv.TimeSec/base.TimeSec-1)*100,
+		(1-adv.Energy.Total()/base.Energy.Total())*100,
+		adv.ED2()/base.ED2())
+}
+
+func runConfig(name string, prof trace.Profile, opts hetsim.RunOpts) (hetsim.CPUResult, error) {
+	cfg, err := hetsim.CPUConfigByName(name)
+	if err != nil {
+		return hetsim.CPUResult{}, err
+	}
+	return hetsim.RunCPU(cfg, prof, opts)
+}

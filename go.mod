@@ -1,0 +1,3 @@
+module hetcore
+
+go 1.22

@@ -1,0 +1,162 @@
+package cache
+
+import "fmt"
+
+// Directory implements the MESI directory of the shared L3 (Table III).
+// It tracks, per line, which cores hold the line in their private
+// hierarchies and whether one of them owns it exclusively (E/M). The
+// private caches are real arrays; the directory drives their invalidations
+// so coherence effects (sharing misses, ownership transfers) show up in
+// the latency and energy numbers of multicore runs.
+type DirectoryStats struct {
+	ReadMisses     uint64 // GetS requests reaching the directory
+	WriteMisses    uint64 // GetX requests reaching the directory
+	Invalidations  uint64 // sharer invalidations sent
+	OwnerForwards  uint64 // dirty-owner interventions (M -> forward)
+	WritebacksToL3 uint64 // dirty data pulled down to L3
+}
+
+type dirEntry struct {
+	sharers uint64 // bitmap of cores holding the line
+	owner   int    // core with exclusive/modified copy, -1 if none
+}
+
+// Directory is the per-L3 coherence directory.
+type Directory struct {
+	entries map[uint64]*dirEntry
+	cores   int
+	stats   DirectoryStats
+}
+
+// NewDirectory builds a directory for the given core count (max 64).
+func NewDirectory(cores int) (*Directory, error) {
+	if cores <= 0 || cores > 64 {
+		return nil, fmt.Errorf("cache: directory supports 1-64 cores, got %d", cores)
+	}
+	return &Directory{entries: make(map[uint64]*dirEntry), cores: cores}, nil
+}
+
+// Stats returns a copy of the directory counters.
+func (d *Directory) Stats() DirectoryStats { return d.stats }
+
+func (d *Directory) entry(la uint64) *dirEntry {
+	e, ok := d.entries[la]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.entries[la] = e
+	}
+	return e
+}
+
+// Intervention describes coherence work the requesting core must wait for.
+type Intervention struct {
+	// OwnerForward: a remote core held the line modified and must
+	// forward it (costs a remote L2 probe plus ring traversals).
+	OwnerForward bool
+	// OwnerCore is the forwarding core when OwnerForward.
+	OwnerCore int
+	// InvalidatedCores lists cores whose copies were invalidated
+	// (writes only).
+	InvalidatedCores []int
+}
+
+// Read records core's read request for line address la and returns the
+// required intervention. The caller (Hierarchy) is responsible for
+// invalidating/cleaning the private arrays of affected cores.
+func (d *Directory) Read(core int, la uint64) Intervention {
+	d.checkCore(core)
+	d.stats.ReadMisses++
+	e := d.entry(la)
+	iv := Intervention{}
+	if e.owner >= 0 && e.owner != core {
+		// Modified elsewhere: owner forwards, downgrades to sharer.
+		iv.OwnerForward = true
+		iv.OwnerCore = e.owner
+		d.stats.OwnerForwards++
+		d.stats.WritebacksToL3++
+		e.owner = -1
+	}
+	e.sharers |= 1 << uint(core)
+	return iv
+}
+
+// Write records core's write (ownership) request for line la.
+func (d *Directory) Write(core int, la uint64) Intervention {
+	d.checkCore(core)
+	d.stats.WriteMisses++
+	e := d.entry(la)
+	iv := Intervention{}
+	if e.owner >= 0 && e.owner != core {
+		iv.OwnerForward = true
+		iv.OwnerCore = e.owner
+		d.stats.OwnerForwards++
+		d.stats.WritebacksToL3++
+	}
+	for c := 0; c < d.cores; c++ {
+		if c == core {
+			continue
+		}
+		if e.sharers&(1<<uint(c)) != 0 {
+			iv.InvalidatedCores = append(iv.InvalidatedCores, c)
+			d.stats.Invalidations++
+		}
+	}
+	e.sharers = 1 << uint(core)
+	e.owner = core
+	return iv
+}
+
+// Evict removes core from the line's sharer set (private eviction).
+func (d *Directory) Evict(core int, la uint64) {
+	d.checkCore(core)
+	e, ok := d.entries[la]
+	if !ok {
+		return
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.owner == core {
+		e.owner = -1
+		d.stats.WritebacksToL3++
+	}
+	if e.sharers == 0 && e.owner < 0 {
+		delete(d.entries, la)
+	}
+}
+
+// Drop removes the line entirely (L3 eviction back-invalidates all
+// sharers). Returns the cores that held it.
+func (d *Directory) Drop(la uint64) []int {
+	e, ok := d.entries[la]
+	if !ok {
+		return nil
+	}
+	var held []int
+	for c := 0; c < d.cores; c++ {
+		if e.sharers&(1<<uint(c)) != 0 || e.owner == c {
+			held = append(held, c)
+		}
+	}
+	delete(d.entries, la)
+	return held
+}
+
+// Sharers returns how many cores currently hold the line.
+func (d *Directory) Sharers(la uint64) int {
+	e, ok := d.entries[la]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for c := 0; c < d.cores; c++ {
+		if e.sharers&(1<<uint(c)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *Directory) checkCore(core int) {
+	if core < 0 || core >= d.cores {
+		panic(fmt.Sprintf("cache: core %d out of range [0,%d)", core, d.cores))
+	}
+}

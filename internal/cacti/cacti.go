@@ -1,0 +1,150 @@
+// Package cacti is a small analytical cache timing/energy model in the
+// spirit of CACTI, which the paper uses to size the asymmetric DL1
+// ("CACTI analysis shows that the access latency of the FastCache is
+// about one third of the base 32KB DL1", Section IV-C1).
+//
+// The model decomposes an SRAM access into decoder, wordline/bitline,
+// way-compare and output-drive components with standard first-order
+// scaling: decode grows with log2(sets), bitlines with rows per subarray,
+// compare energy with associativity, wires with the square root of the
+// macro area. Constants are normalised so a 32 KB 8-way 64 B-line cache
+// at 15 nm matches the paper's 2-cycle round trip at 2 GHz; the value of
+// the package is in the *relative* numbers it produces for other
+// geometries — exactly how the paper uses CACTI.
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geometry describes one SRAM cache macro.
+type Geometry struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 || g.LineBytes <= 0 {
+		return fmt.Errorf("cacti: non-positive geometry %+v", g)
+	}
+	if g.SizeBytes%(g.Ways*g.LineBytes) != 0 {
+		return fmt.Errorf("cacti: size %d not divisible by ways*line", g.SizeBytes)
+	}
+	if s := g.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("cacti: set count %d not a power of two", s)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (g Geometry) Sets() int { return g.SizeBytes / (g.Ways * g.LineBytes) }
+
+// Result is the model's output for one geometry.
+type Result struct {
+	// AccessTimePS is the access latency in picoseconds.
+	AccessTimePS float64
+	// DynamicEnergyPJ is the energy of one read access in picojoules.
+	DynamicEnergyPJ float64
+	// LeakageMW is the standing leakage of the macro in milliwatts.
+	LeakageMW float64
+	// AreaMM2 is the macro area in square millimetres.
+	AreaMM2 float64
+}
+
+// Model carries the technology constants. The zero value is not useful;
+// use Default15nm.
+type Model struct {
+	// DecodePS is the delay per doubling of the set count.
+	DecodePS float64
+	// BitlinePS scales with sqrt(rows) per subarray.
+	BitlinePS float64
+	// ComparePS is the way-comparison delay per doubling of ways.
+	ComparePS float64
+	// WirePS scales with sqrt(area).
+	WirePS float64
+	// BasePS is the fixed sense/drive overhead.
+	BasePS float64
+
+	// Energy constants (pJ).
+	BitlinePJPerKB float64 // bitline+cell energy per KB activated
+	ComparePJ      float64 // per way compared
+	DecodePJ       float64
+	WirePJPerMM    float64
+
+	// LeakUWPerKB is cell leakage per KB (high-Vt SRAM).
+	LeakUWPerKB float64
+	// CellMM2PerKB is the cell-area density.
+	CellMM2PerKB float64
+}
+
+// Default15nm returns constants normalised to the paper's 15 nm node.
+func Default15nm() Model {
+	return Model{
+		DecodePS: 8, BitlinePS: 32, ComparePS: 30, WirePS: 150, BasePS: 30,
+		BitlinePJPerKB: 0.55, ComparePJ: 0.45, DecodePJ: 0.4, WirePJPerMM: 1.2,
+		LeakUWPerKB: 18, CellMM2PerKB: 0.00022,
+	}
+}
+
+// Evaluate runs the model for a geometry.
+func (m Model) Evaluate(g Geometry) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	sets := float64(g.Sets())
+	ways := float64(g.Ways)
+	kb := float64(g.SizeBytes) / 1024
+
+	area := kb * m.CellMM2PerKB * (1 + 0.08*math.Log2(ways)) // tag/peripheral overhead
+	wire := math.Sqrt(area)
+
+	t := m.BasePS
+	t += m.DecodePS * math.Log2(sets+1)
+	t += m.BitlinePS * math.Sqrt(sets*ways) // total array rows
+	t += m.ComparePS * math.Log2(ways+1)
+	t += m.WirePS * wire
+
+	// A read activates one set across all ways (parallel tag+data).
+	activatedKB := ways * float64(g.LineBytes) / 1024
+	e := m.DecodePJ
+	e += m.BitlinePJPerKB * activatedKB
+	e += m.ComparePJ * ways
+	e += m.WirePJPerMM * wire
+
+	return Result{
+		AccessTimePS:    t,
+		DynamicEnergyPJ: e,
+		LeakageMW:       kb * m.LeakUWPerKB / 1000,
+		AreaMM2:         area,
+	}, nil
+}
+
+// CyclesAt converts an access time to (ceil) cycles at the given clock.
+func (r Result) CyclesAt(freqGHz float64) int {
+	ps := 1000 / freqGHz // ps per cycle
+	return int(math.Ceil(r.AccessTimePS / ps))
+}
+
+// RelativeLatency returns a's access time over b's.
+func (m Model) RelativeLatency(a, b Geometry) (float64, error) {
+	ra, err := m.Evaluate(a)
+	if err != nil {
+		return 0, err
+	}
+	rb, err := m.Evaluate(b)
+	if err != nil {
+		return 0, err
+	}
+	return ra.AccessTimePS / rb.AccessTimePS, nil
+}
+
+// Paper geometries for the asymmetric-DL1 analysis.
+var (
+	// BaseDL1 is the 32 KB 8-way DL1 of Table III.
+	BaseDL1 = Geometry{SizeBytes: 32 * 1024, Ways: 8, LineBytes: 64}
+	// FastCache is the 4 KB direct-mapped CMOS way of Section IV-C1.
+	FastCache = Geometry{SizeBytes: 4 * 1024, Ways: 1, LineBytes: 64}
+)

@@ -1,0 +1,146 @@
+package cacti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	if err := BaseDL1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Geometry{
+		{SizeBytes: 0, Ways: 1, LineBytes: 64},
+		{SizeBytes: 1024, Ways: 0, LineBytes: 64},
+		{SizeBytes: 1000, Ways: 2, LineBytes: 64},     // not divisible
+		{SizeBytes: 3 * 1024, Ways: 1, LineBytes: 64}, // 48 sets
+	}
+	for _, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("geometry %+v accepted", g)
+		}
+	}
+}
+
+// The paper's CACTI claim: the 4 KB FastCache accesses in about one third
+// of the 32 KB DL1's time.
+func TestFastCacheLatencyRatio(t *testing.T) {
+	m := Default15nm()
+	r, err := m.RelativeLatency(FastCache, BaseDL1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.25 || r > 0.45 {
+		t.Errorf("FastCache/DL1 latency ratio %.3f, paper says ≈1/3", r)
+	}
+}
+
+// The fast way must also be several times cheaper per access — the basis
+// of the AdvHet energy argument.
+func TestFastCacheEnergyRatio(t *testing.T) {
+	m := Default15nm()
+	fast, _ := m.Evaluate(FastCache)
+	base, _ := m.Evaluate(BaseDL1)
+	ratio := fast.DynamicEnergyPJ / base.DynamicEnergyPJ
+	if ratio > 0.35 {
+		t.Errorf("FastCache energy ratio %.3f, want well below the 8-way array", ratio)
+	}
+}
+
+// The base DL1 should land at the paper's 2-cycle round trip at 2 GHz.
+func TestBaseDL1Cycles(t *testing.T) {
+	m := Default15nm()
+	r, err := m.Evaluate(BaseDL1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := r.CyclesAt(2.0); c != 2 {
+		t.Errorf("32KB DL1 = %d cycles at 2 GHz, want 2 (Table III)", c)
+	}
+	fast, _ := m.Evaluate(FastCache)
+	if c := fast.CyclesAt(2.0); c != 1 {
+		t.Errorf("FastCache = %d cycles at 2 GHz, want 1", c)
+	}
+}
+
+// Larger caches must be slower, hungrier and leakier; higher
+// associativity must cost time and energy.
+func TestMonotonicity(t *testing.T) {
+	m := Default15nm()
+	small, _ := m.Evaluate(Geometry{SizeBytes: 8 * 1024, Ways: 2, LineBytes: 64})
+	big, _ := m.Evaluate(Geometry{SizeBytes: 256 * 1024, Ways: 2, LineBytes: 64})
+	if big.AccessTimePS <= small.AccessTimePS {
+		t.Error("bigger cache not slower")
+	}
+	if big.LeakageMW <= small.LeakageMW {
+		t.Error("bigger cache not leakier")
+	}
+	if big.AreaMM2 <= small.AreaMM2 {
+		t.Error("bigger cache not larger")
+	}
+
+	direct, _ := m.Evaluate(Geometry{SizeBytes: 32 * 1024, Ways: 1, LineBytes: 64})
+	assoc, _ := m.Evaluate(Geometry{SizeBytes: 32 * 1024, Ways: 16, LineBytes: 64})
+	if assoc.AccessTimePS <= direct.AccessTimePS {
+		t.Error("higher associativity not slower")
+	}
+	if assoc.DynamicEnergyPJ <= direct.DynamicEnergyPJ {
+		t.Error("higher associativity not costlier")
+	}
+}
+
+// L2 and L3 should take proportionally longer — consistent with
+// Table III's 8- and 32-cycle round trips containing a few cycles of
+// actual array access plus queueing/interconnect.
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	m := Default15nm()
+	l1, _ := m.Evaluate(BaseDL1)
+	l2, _ := m.Evaluate(Geometry{SizeBytes: 256 * 1024, Ways: 8, LineBytes: 64})
+	l3, _ := m.Evaluate(Geometry{SizeBytes: 8 * 1024 * 1024, Ways: 16, LineBytes: 64})
+	if !(l1.AccessTimePS < l2.AccessTimePS && l2.AccessTimePS < l3.AccessTimePS) {
+		t.Errorf("latency ordering broken: %v / %v / %v",
+			l1.AccessTimePS, l2.AccessTimePS, l3.AccessTimePS)
+	}
+	if c := l2.CyclesAt(2.0); c < 3 || c > 8 {
+		t.Errorf("L2 array = %d cycles, want 3-8 (of the 8-cycle round trip)", c)
+	}
+}
+
+func TestEvaluateRejectsBadGeometry(t *testing.T) {
+	m := Default15nm()
+	if _, err := m.Evaluate(Geometry{}); err == nil {
+		t.Error("zero geometry accepted")
+	}
+	if _, err := m.RelativeLatency(Geometry{}, BaseDL1); err == nil {
+		t.Error("bad numerator accepted")
+	}
+	if _, err := m.RelativeLatency(BaseDL1, Geometry{}); err == nil {
+		t.Error("bad denominator accepted")
+	}
+}
+
+// Property: all outputs are positive and finite for any power-of-two
+// geometry.
+func TestEvaluatePositiveProperty(t *testing.T) {
+	m := Default15nm()
+	f := func(sizeExp, waysExp uint8) bool {
+		size := 1 << (10 + sizeExp%10) // 1KB..512KB
+		ways := 1 << (waysExp % 5)     // 1..16
+		if size < ways*64 {
+			return true
+		}
+		g := Geometry{SizeBytes: size, Ways: ways, LineBytes: 64}
+		if g.Validate() != nil {
+			return true
+		}
+		r, err := m.Evaluate(g)
+		if err != nil {
+			return false
+		}
+		return r.AccessTimePS > 0 && r.DynamicEnergyPJ > 0 &&
+			r.LeakageMW > 0 && r.AreaMM2 > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

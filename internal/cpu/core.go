@@ -1,0 +1,641 @@
+package cpu
+
+import (
+	"fmt"
+
+	"hetcore/internal/trace"
+)
+
+// MemPort is the core's view of the memory hierarchy: each call returns
+// the access's round-trip latency in cycles. The hetsim package binds a
+// core ID to a shared cache.Hierarchy; tests can supply fakes.
+type MemPort interface {
+	InstFetch(pc uint64) int
+	Read(addr uint64) int
+	Write(addr uint64) int
+}
+
+// InstSource supplies the dynamic instruction stream (normally a
+// *trace.Generator).
+type InstSource interface {
+	Next() trace.Inst
+}
+
+// Stats aggregates a core's activity for reporting and for the energy
+// model.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	// Ops counts committed instructions per class.
+	Ops [9]uint64 // indexed by trace.Op
+
+	// Dual-speed cluster: ALU/branch operations executed on the CMOS
+	// ALU vs the TFET ALUs (equal to total ALU ops when the cluster is
+	// disabled, all counted as Slow/Fast per the pool technology).
+	ALUFastOps, ALUSlowOps uint64
+	// SteeredFast counts dispatch decisions that requested the CMOS ALU.
+	SteeredFast uint64
+
+	// Register file activity.
+	IntRegReads, IntRegWrites uint64
+	FPRegReads, FPRegWrites   uint64
+
+	// FetchLines counts IL1 line fetches performed by the frontend.
+	FetchLines uint64
+
+	// Dispatch stall cycles by cause.
+	StallROB, StallIQ, StallLSQ, StallRegs, StallFetch uint64
+
+	// Occupancy accumulators (sum over cycles; divide by Cycles).
+	ROBOccAccum, IQOccAccum uint64
+
+	BPred BPredStats
+}
+
+// Delta returns s minus an earlier snapshot, field-wise. Used to exclude
+// warmup from measurements.
+func (s Stats) Delta(prev Stats) Stats {
+	d := Stats{
+		Cycles:      s.Cycles - prev.Cycles,
+		Committed:   s.Committed - prev.Committed,
+		ALUFastOps:  s.ALUFastOps - prev.ALUFastOps,
+		ALUSlowOps:  s.ALUSlowOps - prev.ALUSlowOps,
+		SteeredFast: s.SteeredFast - prev.SteeredFast,
+		IntRegReads: s.IntRegReads - prev.IntRegReads, IntRegWrites: s.IntRegWrites - prev.IntRegWrites,
+		FPRegReads: s.FPRegReads - prev.FPRegReads, FPRegWrites: s.FPRegWrites - prev.FPRegWrites,
+		FetchLines: s.FetchLines - prev.FetchLines,
+		StallROB:   s.StallROB - prev.StallROB, StallIQ: s.StallIQ - prev.StallIQ,
+		StallLSQ: s.StallLSQ - prev.StallLSQ, StallRegs: s.StallRegs - prev.StallRegs,
+		StallFetch:  s.StallFetch - prev.StallFetch,
+		ROBOccAccum: s.ROBOccAccum - prev.ROBOccAccum,
+		IQOccAccum:  s.IQOccAccum - prev.IQOccAccum,
+		BPred: BPredStats{
+			Lookups:     s.BPred.Lookups - prev.BPred.Lookups,
+			Mispredicts: s.BPred.Mispredicts - prev.BPred.Mispredicts,
+			BTBMisses:   s.BPred.BTBMisses - prev.BPred.BTBMisses,
+		},
+	}
+	for i := range s.Ops {
+		d.Ops[i] = s.Ops[i] - prev.Ops[i]
+	}
+	return d
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// AvgROBOccupancy returns the mean number of in-flight instructions.
+func (s Stats) AvgROBOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ROBOccAccum) / float64(s.Cycles)
+}
+
+// AvgIQOccupancy returns the mean issue-queue population.
+func (s Stats) AvgIQOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.IQOccAccum) / float64(s.Cycles)
+}
+
+// StallBreakdown returns the fraction of cycles dispatch was blocked on
+// each resource: ROB, IQ, LSQ, physical registers, and the frontend
+// (mispredict redirects, fetch misses).
+func (s Stats) StallBreakdown() (rob, iq, lsq, regs, fetch float64) {
+	if s.Cycles == 0 {
+		return
+	}
+	c := float64(s.Cycles)
+	return float64(s.StallROB) / c, float64(s.StallIQ) / c,
+		float64(s.StallLSQ) / c, float64(s.StallRegs) / c,
+		float64(s.StallFetch) / c
+}
+
+// TimeNS returns the execution time in nanoseconds at the given clock.
+func (s Stats) TimeNS(freqGHz float64) float64 {
+	return float64(s.Cycles) / freqGHz
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	op        trace.Op
+	seq       uint64
+	dep1      uint64 // absolute seq of producers; 0 = none
+	dep2      uint64
+	addr      uint64
+	doneCycle int64
+	issued    bool
+	steerFast bool // dual-speed: wants the CMOS ALU
+	mispred   bool
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	cfg Config
+	bp  *BPred
+	mem MemPort
+	src InstSource
+
+	cycle int64
+	seq   uint64 // next sequence number to dispatch (1-based)
+
+	rob                        []robEntry // ring buffer
+	robHead, robTail, robCount int
+
+	iq  []int // ROB indexes in program order
+	lsq int   // occupied LSQ slots
+
+	// readyAt maps seq -> completion cycle, in a ring sized to cover
+	// every in-flight producer. Entries for retired producers are stale
+	// but always <= cycle, which reads as "ready" — exactly right.
+	readyAt []int64
+
+	// Lookahead decode buffer for steering and fetch modelling.
+	la     []trace.Inst
+	laPred []Prediction
+
+	// Frontend state.
+	fetchResume     int64
+	lastLine        uint64
+	pendingRedirect bool
+	redirectIdx     int // ROB index of the unresolved mispredicted branch
+
+	// In-flight register pressure (physical minus architectural regs).
+	intInFlight, fpInFlight   int
+	intRegBudget, fpRegBudget int
+
+	// Divider free times (one per unit in the pool).
+	intDivFree []int64
+	fpDivFree  []int64
+
+	stats Stats
+}
+
+// NewCore builds a core over a memory port and instruction source.
+func NewCore(cfg Config, mem MemPort, src InstSource) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil || src == nil {
+		return nil, fmt.Errorf("cpu: nil memory port or instruction source")
+	}
+	bp, err := NewBPred(cfg.BPred)
+	if err != nil {
+		return nil, err
+	}
+	const archRegs = 32
+	c := &Core{
+		cfg:          cfg,
+		bp:           bp,
+		mem:          mem,
+		src:          src,
+		rob:          make([]robEntry, cfg.ROBSize),
+		readyAt:      make([]int64, nextPow2(cfg.ROBSize*2+64)),
+		intDivFree:   make([]int64, cfg.NumMul),
+		fpDivFree:    make([]int64, cfg.NumFPU),
+		intRegBudget: max(8, cfg.IntRegs-archRegs),
+		fpRegBudget:  max(8, cfg.FPRegs-archRegs),
+		lastLine:     ^uint64(0),
+	}
+	c.iq = make([]int, 0, cfg.IQSize)
+	laSize := cfg.SteerWindow
+	if laSize < cfg.FetchWidth {
+		laSize = cfg.FetchWidth
+	}
+	c.la = make([]trace.Inst, 0, laSize+cfg.FetchWidth)
+	return c, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats returns a copy of the counters (predictor stats included).
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.BPred = c.bp.Stats()
+	return s
+}
+
+// Run simulates until n instructions have committed and returns the final
+// stats.
+func (c *Core) Run(n uint64) Stats {
+	target := c.stats.Committed + n
+	for c.stats.Committed < target {
+		c.step()
+	}
+	return c.Stats()
+}
+
+// step advances one cycle (possibly fast-forwarding through guaranteed-idle
+// cycles).
+func (c *Core) step() {
+	c.cycle++
+	c.stats.Cycles++
+	c.stats.ROBOccAccum += uint64(c.robCount)
+	c.stats.IQOccAccum += uint64(len(c.iq))
+
+	committed := c.commit()
+	issued := c.issue()
+	dispatched := c.dispatch()
+
+	if committed == 0 && issued == 0 && dispatched == 0 {
+		c.fastForward()
+	}
+}
+
+// fastForward jumps the clock to the next cycle where progress is
+// possible: the earliest outstanding completion or the frontend resume
+// time. The skipped cycles still elapse (they are counted), preserving
+// timing while saving simulation work.
+func (c *Core) fastForward() {
+	next := int64(1 << 62)
+	for i, n := c.robHead, 0; n < c.robCount; i, n = (i+1)%len(c.rob), n+1 {
+		e := &c.rob[i]
+		if e.issued && e.doneCycle > c.cycle && e.doneCycle < next {
+			next = e.doneCycle
+		}
+	}
+	if c.fetchResume > c.cycle && c.fetchResume < next {
+		next = c.fetchResume
+	}
+	if next == 1<<62 || next <= c.cycle {
+		return // nothing outstanding; the next step will dispatch
+	}
+	skip := uint64(next - c.cycle - 1)
+	c.cycle = next - 1
+	c.stats.Cycles += skip
+	c.stats.ROBOccAccum += skip * uint64(c.robCount)
+	c.stats.IQOccAccum += skip * uint64(len(c.iq))
+}
+
+// commit retires completed instructions in order.
+func (c *Core) commit() int {
+	done := 0
+	for done < c.cfg.CommitWidth && c.robCount > 0 {
+		e := &c.rob[c.robHead]
+		if !e.issued || e.doneCycle > c.cycle {
+			break
+		}
+		if e.op == trace.Store {
+			// Stores drain to the DL1 at commit through the write
+			// buffer; the latency is off the critical path.
+			c.mem.Write(e.addr)
+			c.lsq--
+		}
+		if e.mispred && c.pendingRedirect && c.redirectIdx == c.robHead {
+			// Should have been cleared at issue; defensive.
+			c.pendingRedirect = false
+		}
+		c.retireRegs(e.op)
+		c.stats.Ops[e.op]++
+		c.stats.Committed++
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		done++
+	}
+	return done
+}
+
+func (c *Core) retireRegs(op trace.Op) {
+	if op.IsFP() {
+		c.fpInFlight--
+	} else if op != trace.Store && op != trace.Branch {
+		c.intInFlight--
+	}
+}
+
+// ready reports whether a ROB entry's operands are available.
+func (c *Core) ready(e *robEntry) bool {
+	m := uint64(len(c.readyAt) - 1)
+	if e.dep1 != 0 && c.readyAt[e.dep1&m] > c.cycle {
+		return false
+	}
+	if e.dep2 != 0 && c.readyAt[e.dep2&m] > c.cycle {
+		return false
+	}
+	return true
+}
+
+// issue schedules ready IQ entries onto functional units, oldest first.
+func (c *Core) issue() int {
+	if len(c.iq) == 0 {
+		return 0
+	}
+	issued := 0
+	fastALU, slowALU, mul, lsu, fpu := 0, 0, 0, 0, 0
+	slowALUSlots := c.cfg.NumALU
+	if c.cfg.DualSpeedALU {
+		slowALUSlots = c.cfg.NumALU - 1
+	}
+
+	kept := c.iq[:0]
+	for _, idx := range c.iq {
+		if issued >= c.cfg.IssueWidth {
+			kept = append(kept, idx)
+			continue
+		}
+		e := &c.rob[idx]
+		if !c.ready(e) {
+			kept = append(kept, idx)
+			continue
+		}
+		var lat int
+		ok := false
+		switch e.op {
+		case trace.IntALU, trace.Branch:
+			if c.cfg.DualSpeedALU {
+				// Steered-fast ops prefer the CMOS ALU; fall back to a
+				// TFET ALU rather than stall (mis-steer costs 1 cycle).
+				if e.steerFast && fastALU == 0 {
+					fastALU, lat, ok = 1, c.cfg.CMOSALULat, true
+					c.stats.ALUFastOps++
+				} else if slowALU < slowALUSlots {
+					slowALU++
+					lat, ok = c.cfg.IntLat.ALU, true
+					c.stats.ALUSlowOps++
+				} else if fastALU == 0 {
+					fastALU, lat, ok = 1, c.cfg.CMOSALULat, true
+					c.stats.ALUFastOps++
+				}
+			} else if slowALU < c.cfg.NumALU {
+				slowALU++
+				lat, ok = c.cfg.IntLat.ALU, true
+				c.stats.ALUSlowOps++
+			}
+		case trace.IntMul:
+			if mul < c.cfg.NumMul {
+				mul++
+				lat, ok = c.cfg.IntLat.IntMul, true
+			}
+		case trace.IntDiv:
+			if mul < c.cfg.NumMul {
+				if u := freeUnit(c.intDivFree, c.cycle); u >= 0 {
+					mul++
+					c.intDivFree[u] = c.cycle + int64(c.cfg.IntLat.IntDivIssueInterval)
+					lat, ok = c.cfg.IntLat.IntDiv, true
+				}
+			}
+		case trace.FPAdd:
+			if fpu < c.cfg.NumFPU {
+				fpu++
+				lat, ok = c.cfg.FPLat.FPAdd, true
+			}
+		case trace.FPMul:
+			if fpu < c.cfg.NumFPU {
+				fpu++
+				lat, ok = c.cfg.FPLat.FPMul, true
+			}
+		case trace.FPDiv:
+			if fpu < c.cfg.NumFPU {
+				if u := freeUnit(c.fpDivFree, c.cycle); u >= 0 {
+					fpu++
+					c.fpDivFree[u] = c.cycle + int64(c.cfg.FPLat.FPDivIssueInterval)
+					lat, ok = c.cfg.FPLat.FPDiv, true
+				}
+			}
+		case trace.Load:
+			if lsu < c.cfg.NumLSU {
+				lsu++
+				lat, ok = c.mem.Read(e.addr), true
+			}
+		case trace.Store:
+			if lsu < c.cfg.NumLSU {
+				lsu++
+				// Address generation only; data drains at commit.
+				lat, ok = 1, true
+			}
+		}
+		if !ok {
+			kept = append(kept, idx)
+			continue
+		}
+		e.issued = true
+		e.doneCycle = c.cycle + int64(lat)
+		c.readyAt[e.seq&uint64(len(c.readyAt)-1)] = e.doneCycle
+		if e.op == trace.Load {
+			c.lsq--
+		}
+		if e.mispred {
+			// Redirect: the frontend refills after resolution.
+			r := e.doneCycle + int64(c.cfg.MispredictPenalty)
+			if r > c.fetchResume {
+				c.fetchResume = r
+			}
+			if c.pendingRedirect && c.redirectIdx == idx {
+				c.pendingRedirect = false
+			}
+		}
+		issued++
+	}
+	c.iq = kept
+	return issued
+}
+
+// freeUnit returns the index of a divider whose issue interval has
+// elapsed, or -1.
+func freeUnit(free []int64, cycle int64) int {
+	for i, f := range free {
+		if f <= cycle {
+			return i
+		}
+	}
+	return -1
+}
+
+// dispatch renames and inserts up to FetchWidth instructions into the
+// window.
+func (c *Core) dispatch() int {
+	if c.pendingRedirect {
+		c.stats.StallFetch++
+		return 0
+	}
+	if c.cycle < c.fetchResume {
+		c.stats.StallFetch++
+		return 0
+	}
+	n := 0
+	for n < c.cfg.FetchWidth {
+		if c.robCount >= c.cfg.ROBSize {
+			c.stats.StallROB++
+			break
+		}
+		if len(c.iq) >= c.cfg.IQSize {
+			c.stats.StallIQ++
+			break
+		}
+		c.fillLookahead()
+		in := c.la[0]
+		if in.Op.IsMem() && c.lsq >= c.cfg.LSQSize {
+			c.stats.StallLSQ++
+			break
+		}
+		if in.Op.IsFP() && c.fpInFlight >= c.fpRegBudget {
+			c.stats.StallRegs++
+			break
+		}
+		if !in.Op.IsFP() && in.Op != trace.Store && in.Op != trace.Branch &&
+			c.intInFlight >= c.intRegBudget {
+			c.stats.StallRegs++
+			break
+		}
+
+		// Frontend: account an IL1 access per new line and charge any
+		// miss latency beyond the pipelined hit time as a fetch stall.
+		line := in.PC / uint64(c.cfg.LineSize)
+		if line != c.lastLine {
+			c.lastLine = line
+			c.stats.FetchLines++
+			lat := c.mem.InstFetch(in.PC)
+			if extra := int64(lat - 2); extra > 0 {
+				c.fetchResume = c.cycle + extra
+			}
+		}
+
+		pred := c.laPred[0]
+		c.popLookahead()
+
+		seq := c.seq + 1
+		c.seq = seq
+		idx := c.robTail
+		e := &c.rob[idx]
+		*e = robEntry{op: in.Op, seq: seq, addr: in.Addr}
+		// Dependencies farther back than the ROB are architecturally
+		// committed and therefore ready; they also must not alias a
+		// live slot in the readyAt ring.
+		if in.Dep1 > 0 && in.Dep1 < c.cfg.ROBSize && uint64(in.Dep1) < seq {
+			e.dep1 = seq - uint64(in.Dep1)
+		}
+		if in.Dep2 > 0 && in.Dep2 < c.cfg.ROBSize && uint64(in.Dep2) < seq {
+			e.dep2 = seq - uint64(in.Dep2)
+		}
+		// Mark not-ready until issued.
+		c.readyAt[seq&uint64(len(c.readyAt)-1)] = int64(1) << 61
+
+		c.countRegs(in)
+
+		switch in.Op {
+		case trace.Branch:
+			misp := c.bp.Update(in.PC, in.Taken, pred)
+			e.mispred = misp
+			if misp {
+				c.pendingRedirect = true
+				c.redirectIdx = idx
+			} else if in.Taken && !pred.BTBHit {
+				if r := c.cycle + int64(c.cfg.BTBMissPenalty); r > c.fetchResume {
+					c.fetchResume = r
+				}
+			}
+		case trace.Load, trace.Store:
+			c.lsq++
+		}
+		if c.cfg.DualSpeedALU && (in.Op == trace.IntALU || in.Op == trace.Branch) {
+			e.steerFast = c.steer()
+			if e.steerFast {
+				c.stats.SteeredFast++
+			}
+		}
+
+		c.robTail = (c.robTail + 1) % len(c.rob)
+		c.robCount++
+		c.iq = append(c.iq, idx)
+		n++
+
+		if e.mispred {
+			break // no dispatch past an unresolved mispredict
+		}
+		if c.cycle < c.fetchResume {
+			break // IL1 miss or BTB bubble interrupts the fetch group
+		}
+	}
+	return n
+}
+
+func (c *Core) countRegs(in trace.Inst) {
+	srcs := uint64(0)
+	if in.Dep1 > 0 {
+		srcs++
+	}
+	if in.Dep2 > 0 {
+		srcs++
+	}
+	if in.Op.IsFP() {
+		c.stats.FPRegReads += srcs
+		c.stats.FPRegWrites++
+		c.fpInFlight++
+		return
+	}
+	c.stats.IntRegReads += srcs
+	switch in.Op {
+	case trace.Store, trace.Branch:
+		// no destination register
+	default:
+		c.stats.IntRegWrites++
+		c.intInFlight++
+	}
+}
+
+// steer implements the Section IV-C2 dispatch-stage heuristic: the
+// instruction goes to the CMOS ALU if a consumer appears within the next
+// SteerWindow instructions (the issue width), i.e. a consumer that could
+// want the result back-to-back.
+func (c *Core) steer() bool {
+	// At this point the steered instruction has been popped, so la[i] is
+	// the instruction i+1 positions after it in program order.
+	c.fillLookahead()
+	w := c.cfg.SteerWindow
+	if w > len(c.la) {
+		w = len(c.la)
+	}
+	for i := 0; i < w; i++ {
+		d := i + 1
+		if c.la[i].Dep1 == d || c.la[i].Dep2 == d {
+			return true
+		}
+	}
+	return false
+}
+
+// fillLookahead tops up the decode buffer so la[0] exists and steering can
+// look SteerWindow instructions ahead.
+func (c *Core) fillLookahead() {
+	need := c.cfg.SteerWindow + 1
+	if need < 1 {
+		need = 1
+	}
+	for len(c.la) < need {
+		in := c.src.Next()
+		c.la = append(c.la, in)
+		var p Prediction
+		if in.Op == trace.Branch {
+			p = c.bp.Predict(in.PC)
+		}
+		c.laPred = append(c.laPred, p)
+	}
+}
+
+func (c *Core) popLookahead() {
+	copy(c.la, c.la[1:])
+	c.la = c.la[:len(c.la)-1]
+	copy(c.laPred, c.laPred[1:])
+	c.laPred = c.laPred[:len(c.laPred)-1]
+}

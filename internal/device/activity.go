@@ -1,0 +1,98 @@
+package device
+
+import "fmt"
+
+// This file models Figure 2: the total power of a 32-bit ALU implemented in
+// dual-Vt Si-CMOS versus HetJTFET as the activity factor varies.
+//
+// An activity factor of 1 means the ALU performs an operation every cycle.
+// Because a HetJTFET ALU leaks two orders of magnitude less than even a
+// dual-Vt CMOS ALU, the power ratio between the two implementations grows
+// as activity decreases — the paper's argument for implementing
+// low-activity, high-leakage structures in TFET.
+
+// ALUPowerModel computes total ALU power (dynamic + leakage) as a function
+// of activity factor for one technology.
+type ALUPowerModel struct {
+	// Tech is the implementation technology.
+	Tech Technology
+	// DynamicEnergyFJ is the energy of one 32-bit ALU operation in
+	// femtojoules.
+	DynamicEnergyFJ float64
+	// LeakagePowerUW is the standing leakage power in microwatts.
+	LeakagePowerUW float64
+	// OperationRateGHz is the rate at which operations complete at
+	// activity factor 1. Both implementations complete operations at the
+	// core clock (the TFET ALU is pipelined twice as deep), so both use
+	// the nominal 2 GHz.
+	OperationRateGHz float64
+}
+
+// CMOSALUPower returns the Figure 2 model of a dual-Vt Si-CMOS ALU: Table I
+// dynamic energy, with leakage reduced to ≈42% of Table I by the 60%
+// high-Vt transistors in non-critical paths.
+func CMOSALUPower() ALUPowerModel {
+	c := Characterize(SiCMOS)
+	return ALUPowerModel{
+		Tech:             SiCMOS,
+		DynamicEnergyFJ:  c.ALUDynamicEnergyFJ,
+		LeakagePowerUW:   EffectiveALULeakageUW(HighVtFraction),
+		OperationRateGHz: NominalFrequencyGHz,
+	}
+}
+
+// TFETALUPower returns the Figure 2 model of a HetJTFET ALU: Table I
+// dynamic energy and leakage, completing one operation per core clock via
+// a 2x-deeper pipeline.
+func TFETALUPower() ALUPowerModel {
+	c := Characterize(HetJTFET)
+	return ALUPowerModel{
+		Tech:             HetJTFET,
+		DynamicEnergyFJ:  c.ALUDynamicEnergyFJ,
+		LeakagePowerUW:   c.ALULeakageUW,
+		OperationRateGHz: NominalFrequencyGHz,
+	}
+}
+
+// PowerUW returns the total ALU power in microwatts at the given activity
+// factor in [0, 1]: activity × f × E_op + P_leak.
+func (m ALUPowerModel) PowerUW(activity float64) float64 {
+	if activity < 0 || activity > 1 {
+		panic(fmt.Sprintf("device: activity factor %v out of [0,1]", activity))
+	}
+	// fJ × GHz = µW: 1e-15 J × 1e9 /s = 1e-6 W.
+	dynamic := activity * m.OperationRateGHz * m.DynamicEnergyFJ
+	return dynamic + m.LeakagePowerUW
+}
+
+// ActivityPoint is one sample of the Figure 2 sweep.
+type ActivityPoint struct {
+	Activity float64 // activity factor
+	CMOSUW   float64 // dual-Vt Si-CMOS ALU power, µW
+	TFETUW   float64 // HetJTFET ALU power, µW
+	Ratio    float64 // CMOS power / TFET power
+}
+
+// ActivitySweep reproduces Figure 2: it evaluates both ALU implementations
+// at activity factors 1, 1/2, 1/4, ... down to 1/2^halvings.
+func ActivitySweep(halvings int) []ActivityPoint {
+	if halvings < 0 {
+		panic(fmt.Sprintf("device: negative halvings %d", halvings))
+	}
+	cmos, tfet := CMOSALUPower(), TFETALUPower()
+	pts := make([]ActivityPoint, halvings+1)
+	af := 1.0
+	for i := 0; i <= halvings; i++ {
+		c, t := cmos.PowerUW(af), tfet.PowerUW(af)
+		pts[i] = ActivityPoint{Activity: af, CMOSUW: c, TFETUW: t, Ratio: c / t}
+		af /= 2
+	}
+	return pts
+}
+
+// IdleLeakageRatio returns the power ratio of the two implementations at
+// zero activity — the ≈125x leakage advantage the paper quotes for a
+// HetJTFET ALU against a dual-Vt Si-CMOS ALU.
+func IdleLeakageRatio() float64 {
+	return CMOSALUPower().PowerUW(0) / TFETALUPower().PowerUW(0)
+}

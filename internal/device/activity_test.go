@@ -1,0 +1,126 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestALUPowerAtFullActivity(t *testing.T) {
+	cmos := CMOSALUPower()
+	tfet := TFETALUPower()
+	// Dynamic at af=1: 2 GHz × 170.1 fJ = 340.2 µW (CMOS), 86.8 µW (TFET).
+	approxRel(t, cmos.PowerUW(1), 2*170.1+EffectiveALULeakageUW(HighVtFraction), 0.001, "CMOS ALU power @1")
+	approxRel(t, tfet.PowerUW(1), 2*43.4+0.30, 0.001, "TFET ALU power @1")
+}
+
+// Figure 2: at full activity the ratio is ≈4x; as activity falls it climbs
+// toward the ≈125x leakage-only ratio.
+func TestActivitySweepRatioGrows(t *testing.T) {
+	pts := ActivitySweep(10)
+	if len(pts) != 11 {
+		t.Fatalf("sweep length %d, want 11", len(pts))
+	}
+	if pts[0].Ratio < 3.5 || pts[0].Ratio > 5.5 {
+		t.Errorf("ratio at af=1 is %.2f, want ≈4x", pts[0].Ratio)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ratio <= pts[i-1].Ratio {
+			t.Fatalf("ratio not increasing as activity falls: %v then %v",
+				pts[i-1].Ratio, pts[i].Ratio)
+		}
+		if pts[i].Activity >= pts[i-1].Activity {
+			t.Fatalf("activity not halving at step %d", i)
+		}
+	}
+	last := pts[len(pts)-1].Ratio
+	if last < 50 {
+		t.Errorf("ratio at af=1/1024 is %.1f, want large (leakage dominated)", last)
+	}
+}
+
+func TestIdleLeakageRatio(t *testing.T) {
+	approxRel(t, IdleLeakageRatio(), 125, 0.05, "idle CMOS/TFET power ratio")
+}
+
+func TestALUPowerPanicsOnBadActivity(t *testing.T) {
+	for _, bad := range []float64{-0.01, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PowerUW(%v) did not panic", bad)
+				}
+			}()
+			CMOSALUPower().PowerUW(bad)
+		}()
+	}
+}
+
+func TestActivitySweepPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ActivitySweep(-1) did not panic")
+		}
+	}()
+	ActivitySweep(-1)
+}
+
+// Property: CMOS ALU power strictly exceeds TFET ALU power at every
+// activity factor, and both are monotone in activity.
+func TestALUPowerProperty(t *testing.T) {
+	cmos, tfet := CMOSALUPower(), TFETALUPower()
+	f := func(a, b uint16) bool {
+		a1 := float64(a) / 65535
+		a2 := float64(b) / 65535
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		c1, c2 := cmos.PowerUW(a1), cmos.PowerUW(a2)
+		t1, t2 := tfet.PowerUW(a1), tfet.PowerUW(a2)
+		return c1 > t1 && c2 > t2 && c2 >= c1 && t2 >= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Section V-B chain: stage delay overhead is "up to 15%", the 40 mV
+// guardband raises TFET power by ≈24%, and the effective dynamic-power
+// savings land at ≈6.1x — still above the conservative 4x the evaluation
+// assumes.
+func TestOverheadChain(t *testing.T) {
+	o := DefaultOverheads()
+	approx(t, o.StageDelayOverhead(), 0.15, 1e-9, "stage delay overhead")
+	approx(t, o.GuardbandedVTFET(), 0.44, 1e-9, "guardbanded V_TFET")
+	approxRel(t, o.TFETPowerIncrease(), 1.24, 0.02, "TFET power increase")
+	s := o.EffectiveDynamicPowerSavings()
+	approxRel(t, s, 6.1, 0.05, "effective dynamic power savings")
+	if s <= ConservativeDynamicPowerFactor {
+		t.Errorf("effective savings %.2fx should exceed the conservative %vx",
+			s, ConservativeDynamicPowerFactor)
+	}
+}
+
+func TestVariationGuardband(t *testing.T) {
+	g := DefaultVariationGuardband()
+	approx(t, g.DeltaVCMOS, 0.120, 1e-12, "ΔV_CMOS guardband")
+	approx(t, g.DeltaVTFET, 0.070, 1e-12, "ΔV_TFET guardband")
+
+	nom := NewDVFS().Nominal()
+	gb := g.Apply(nom)
+	approx(t, gb.VCMOS-nom.VCMOS, 0.120, 1e-12, "applied CMOS raise")
+	approx(t, gb.VTFET-nom.VTFET, 0.070, 1e-12, "applied TFET raise")
+	if gb.FrequencyGHz != nom.FrequencyGHz {
+		t.Error("guardband must not change frequency")
+	}
+
+	cs, ts := EnergyScales(nom, gb)
+	if cs.Dynamic <= 1 || ts.Dynamic <= 1 {
+		t.Error("guardband should increase dynamic energy on both sides")
+	}
+	// CMOS pays a relatively larger guardband (120 mV on 0.73 V ≈ 16%
+	// vs 70 mV on 0.40 V ≈ 17.5%) — the scales should be comparable,
+	// with TFET's slightly larger in relative terms.
+	if cs.Dynamic > ts.Dynamic {
+		t.Errorf("expected TFET dynamic scale (%.3f) >= CMOS (%.3f)", ts.Dynamic, cs.Dynamic)
+	}
+}

@@ -1,0 +1,91 @@
+package device
+
+import "testing"
+
+// The fitter should recover a curve that passes through the paper's
+// anchors about as well as the shipped constants do.
+func TestFitCMOSCurve(t *testing.T) {
+	fitted, residual, err := FitCMOSCurve(CMOSAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 1e-3 {
+		t.Errorf("CMOS fit residual %v too large", residual)
+	}
+	for _, a := range CMOSAnchors() {
+		got := fitted.FrequencyGHz(a.V)
+		if rel := (got - a.F) / a.F; rel > 0.03 || rel < -0.03 {
+			t.Errorf("fitted CMOS f(%v) = %v, want %v", a.V, got, a.F)
+		}
+	}
+	// The shipped curve should agree with the fit across the DVFS range.
+	shipped := CMOSFreqCurve()
+	for v := 0.6; v <= 0.85; v += 0.05 {
+		f1, f2 := fitted.FrequencyGHz(v), shipped.FrequencyGHz(v)
+		if rel := (f1 - f2) / f2; rel > 0.06 || rel < -0.06 {
+			t.Errorf("fit diverges from shipped curve at %v V: %v vs %v", v, f1, f2)
+		}
+	}
+}
+
+func TestFitTFETCurve(t *testing.T) {
+	fitted, residual, err := FitTFETCurve(TFETAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if residual > 2e-3 {
+		t.Errorf("TFET fit residual %v too large", residual)
+	}
+	for _, a := range TFETAnchors() {
+		got := fitted.FrequencyGHz(a.V)
+		if rel := (got - a.F) / a.F; rel > 0.04 || rel < -0.04 {
+			t.Errorf("fitted TFET f(%v) = %v, want %v", a.V, got, a.F)
+		}
+	}
+	// The fit must saturate like a TFET: little gain past 0.7 V.
+	if gain := fitted.FrequencyGHz(0.85) / fitted.FrequencyGHz(0.70); gain > 1.15 {
+		t.Errorf("fitted TFET curve does not saturate (gain %v)", gain)
+	}
+}
+
+func TestFitRejectsTooFewAnchors(t *testing.T) {
+	if _, _, err := FitCMOSCurve(CMOSAnchors()[:2]); err == nil {
+		t.Error("CMOS fit accepted 2 anchors")
+	}
+	if _, _, err := FitTFETCurve(TFETAnchors()[:1]); err == nil {
+		t.Error("TFET fit accepted 1 anchor")
+	}
+}
+
+// A DVFS solver built on freshly fitted curves reproduces the paper's
+// turbo voltage deltas.
+func TestDVFSOnFittedCurves(t *testing.T) {
+	cm, _, err := FitCMOSCurve(CMOSAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, _, err := FitTFETCurve(TFETAnchors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDVFSWith(cm, tf)
+	nom, err := d.PairFor(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	turbo, err := d.PairFor(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dC := (turbo.VCMOS - nom.VCMOS) * 1000
+	dT := (turbo.VTFET - nom.VTFET) * 1000
+	if dC < 55 || dC > 95 {
+		t.Errorf("fitted ΔV_CMOS = %.0f mV, want ≈75", dC)
+	}
+	if dT < 70 || dT > 115 {
+		t.Errorf("fitted ΔV_TFET = %.0f mV, want ≈90", dT)
+	}
+	if dT <= dC {
+		t.Error("fitted curves lost the ΔV_TFET > ΔV_CMOS property")
+	}
+}

@@ -1,0 +1,176 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Figure 3 anchors: the Si-CMOS curve passes through 0.73 V → 2 GHz, and
+// the paper's DVFS example moves +75 mV for 2.5 GHz and −70 mV for 1.5 GHz.
+func TestCMOSCurveAnchors(t *testing.T) {
+	c := CMOSFreqCurve()
+	approxRel(t, c.FrequencyGHz(0.73), 2.0, 0.01, "f(0.73)")
+	approxRel(t, c.FrequencyGHz(0.73+0.075), 2.5, 0.02, "f(0.805)")
+	approxRel(t, c.FrequencyGHz(0.73-0.070), 1.5, 0.02, "f(0.66)")
+}
+
+// HetJTFET anchors: 0.40 V → 1 GHz (half the core clock per stage), +90 mV
+// → 1.25 GHz, −80 mV → 0.75 GHz, and saturation at high voltage.
+func TestTFETCurveAnchors(t *testing.T) {
+	c := TFETFreqCurve()
+	approxRel(t, c.FrequencyGHz(0.40), 1.0, 0.01, "f(0.40)")
+	approxRel(t, c.FrequencyGHz(0.40+0.090), 1.25, 0.02, "f(0.49)")
+	approxRel(t, c.FrequencyGHz(0.40-0.080), 0.75, 0.03, "f(0.32)")
+}
+
+func TestTFETCurveSaturates(t *testing.T) {
+	c := TFETFreqCurve()
+	// Doubling the voltage from the operating point should buy well under
+	// 2x frequency — TFETs stop scaling with voltage.
+	gain := c.FrequencyGHz(0.80) / c.FrequencyGHz(0.40)
+	if gain > 1.6 {
+		t.Errorf("TFET frequency gain 0.4→0.8 V = %.2fx, expected saturation (<1.6x)", gain)
+	}
+	// Meanwhile CMOS more than doubles over the same relative raise.
+	cm := CMOSFreqCurve()
+	if g := cm.FrequencyGHz(0.9) / cm.FrequencyGHz(0.6); g < 1.8 {
+		t.Errorf("CMOS gain 0.6→0.9 V = %.2fx, expected >1.8x", g)
+	}
+}
+
+func TestCurvesMonotone(t *testing.T) {
+	for _, c := range []FreqCurve{CMOSFreqCurve(), TFETFreqCurve()} {
+		lo, hi := c.Domain()
+		prev := c.FrequencyGHz(lo)
+		for i := 1; i <= 100; i++ {
+			v := lo + (hi-lo)*float64(i)/100
+			cur := c.FrequencyGHz(v)
+			if cur <= prev {
+				t.Fatalf("curve not strictly increasing at %.3f V", v)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestVoltageForRoundTrip(t *testing.T) {
+	for _, c := range []FreqCurve{CMOSFreqCurve(), TFETFreqCurve()} {
+		lo, hi := c.Domain()
+		for i := 1; i < 20; i++ {
+			v := lo + (hi-lo)*float64(i)/20
+			f := c.FrequencyGHz(v)
+			got, err := c.VoltageFor(f)
+			if err != nil {
+				t.Fatalf("VoltageFor(%v): %v", f, err)
+			}
+			if math.Abs(got-v) > 1e-6 {
+				t.Fatalf("round trip: VoltageFor(f(%.4f)) = %.4f", v, got)
+			}
+		}
+	}
+}
+
+func TestVoltageForOutOfRange(t *testing.T) {
+	if _, err := TFETFreqCurve().VoltageFor(2.0); err == nil {
+		t.Error("TFET VoltageFor(2 GHz) should fail (saturation)")
+	}
+	if _, err := CMOSFreqCurve().VoltageFor(100); err == nil {
+		t.Error("CMOS VoltageFor(100 GHz) should fail")
+	}
+	if _, err := CMOSFreqCurve().VoltageFor(0); err == nil {
+		t.Error("CMOS VoltageFor(0) should fail")
+	}
+}
+
+// Section III-D: the nominal pair is (0.73 V, 0.40 V) at 2 GHz, and the
+// turbo pair at 2.5 GHz needs ΔV_CMOS ≈ 75 mV but ΔV_TFET ≈ 90 mV because
+// the TFET curve is less steep.
+func TestDVFSNominalPair(t *testing.T) {
+	d := NewDVFS()
+	p := d.Nominal()
+	approx(t, p.VCMOS, NominalVCMOS, 0.01, "nominal V_CMOS")
+	approx(t, p.VTFET, NominalVTFET, 0.01, "nominal V_TFET")
+	approx(t, p.FrequencyGHz, 2.0, 1e-12, "nominal frequency")
+}
+
+func TestDVFSTurboPair(t *testing.T) {
+	d := NewDVFS()
+	nom := d.Nominal()
+	turbo, err := d.PairFor(2.5)
+	if err != nil {
+		t.Fatalf("PairFor(2.5): %v", err)
+	}
+	dC := turbo.VCMOS - nom.VCMOS
+	dT := turbo.VTFET - nom.VTFET
+	approx(t, dC, 0.075, 0.010, "ΔV_CMOS for turbo")
+	approx(t, dT, 0.090, 0.012, "ΔV_TFET for turbo")
+	if dT <= dC {
+		t.Errorf("ΔV_TFET (%.3f) should exceed ΔV_CMOS (%.3f): TFET curve is less steep", dT, dC)
+	}
+}
+
+func TestDVFSSlowPair(t *testing.T) {
+	d := NewDVFS()
+	nom := d.Nominal()
+	slow, err := d.PairFor(1.5)
+	if err != nil {
+		t.Fatalf("PairFor(1.5): %v", err)
+	}
+	dC := slow.VCMOS - nom.VCMOS
+	dT := slow.VTFET - nom.VTFET
+	approx(t, dC, -0.070, 0.010, "ΔV_CMOS for 1.5 GHz")
+	approx(t, dT, -0.080, 0.012, "ΔV_TFET for 1.5 GHz")
+	if dT >= dC {
+		t.Errorf("V_TFET reduction (%.3f) should exceed V_CMOS reduction (%.3f)", dT, dC)
+	}
+}
+
+func TestDVFSMaxFrequency(t *testing.T) {
+	d := NewDVFS()
+	fmax := d.MaxFrequencyGHz()
+	if fmax <= 2.5 {
+		t.Fatalf("max matched frequency %.2f GHz, want > 2.5 (turbo must be possible)", fmax)
+	}
+	if _, err := d.PairFor(fmax); err != nil {
+		t.Errorf("PairFor(MaxFrequencyGHz()=%v): %v", fmax, err)
+	}
+	if _, err := d.PairFor(fmax * 1.2); err == nil {
+		t.Error("PairFor beyond max should fail")
+	}
+}
+
+func TestEnergyScale(t *testing.T) {
+	s := ScaleFrom(0.73, 0.73)
+	approx(t, s.Dynamic, 1, 1e-12, "identity dynamic")
+	approx(t, s.Leakage, 1, 1e-12, "identity leakage")
+
+	up := ScaleFrom(0.40, 0.44)
+	approxRel(t, up.Dynamic, 1.21, 0.001, "dyn scale +40mV")
+	approxRel(t, up.Leakage, 1.331, 0.001, "leak scale +40mV")
+}
+
+// Property: for any reachable frequency pair, raising frequency raises both
+// voltages (the DVFS solution is monotone).
+func TestDVFSMonotoneProperty(t *testing.T) {
+	d := NewDVFS()
+	f := func(a, b uint8) bool {
+		f1 := 1.2 + 1.6*float64(a)/255 // [1.2, 2.8] GHz
+		f2 := 1.2 + 1.6*float64(b)/255
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		if f2-f1 < 1e-3 {
+			return true
+		}
+		p1, err1 := d.PairFor(f1)
+		p2, err2 := d.PairFor(f2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p2.VCMOS > p1.VCMOS && p2.VTFET > p1.VTFET
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package device
+
+import "math"
+
+// This file models the overheads of HetCore's multi-Vdd substrate
+// (Section V-B): dual voltage rails, level converters integrated into
+// pipeline latches, and the cost of pipelining TFET units twice as deep.
+//
+// The headline result of the model is that the 8x dynamic-power advantage
+// of HetJTFET over Si-CMOS (at equal work per unit time) erodes to ≈6.1x
+// once V_TFET is raised to absorb the stage-delay overheads — and the
+// paper's evaluation then conservatively assumes only 4x.
+
+// OverheadModel captures the Section V-B overhead estimates.
+type OverheadModel struct {
+	// RailAreaFraction is the core-area cost of routing dual Vdd rails
+	// (≈5%, from the MPEG4 codec dual-rail implementation the paper
+	// cites).
+	RailAreaFraction float64
+	// LevelConverterDelayFraction is the stage-delay cost of the pulsed
+	// half-latch level-converting flip-flops between TFET and CMOS
+	// stages (≈5%).
+	LevelConverterDelayFraction float64
+	// UnequalSplitDelayFraction is the stage-delay cost of not being
+	// able to slice a pipeline stage into two equal halves (≈5%).
+	UnequalSplitDelayFraction float64
+	// SlowLatchDelayFraction is the stage-delay cost of TFET latches
+	// being slower than CMOS ones; latches are ≈10% of a stage's
+	// latency (≈10%).
+	SlowLatchDelayFraction float64
+	// LatchPowerFraction is the power overhead of the extra latches
+	// added by deeper pipelining, as a fraction of stage power (≈10%).
+	LatchPowerFraction float64
+	// GuardbandVoltage is the V_TFET raise (volts) needed to recover
+	// the total stage-delay overhead without slowing the clock (40 mV).
+	GuardbandVoltage float64
+	// PowerVoltageExponent relates TFET dynamic power to supply voltage
+	// around the operating point (slightly above the ideal CV²f
+	// quadratic once short-circuit current is included).
+	PowerVoltageExponent float64
+	// ClockSkewFraction is the clock skew across Vdd domains as a
+	// fraction of the cycle (<0.5% with a multi-voltage clock mesh).
+	ClockSkewFraction float64
+}
+
+// DefaultOverheads returns the Section V-B estimates.
+func DefaultOverheads() OverheadModel {
+	return OverheadModel{
+		RailAreaFraction:            0.05,
+		LevelConverterDelayFraction: 0.05,
+		UnequalSplitDelayFraction:   0.05,
+		SlowLatchDelayFraction:      0.10,
+		LatchPowerFraction:          0.10,
+		GuardbandVoltage:            0.040,
+		PowerVoltageExponent:        2.2,
+		ClockSkewFraction:           0.005,
+	}
+}
+
+// StageDelayOverhead returns the worst-case fractional delay added to a
+// TFET pipeline stage: the unequal-split cost plus either the level
+// converter or the slow TFET latch — whichever the stage has — but never
+// both (a stage ends in one kind of latch). With the defaults this is the
+// paper's "up to 15%".
+func (o OverheadModel) StageDelayOverhead() float64 {
+	latchOrConverter := o.SlowLatchDelayFraction
+	if o.LevelConverterDelayFraction > latchOrConverter {
+		latchOrConverter = o.LevelConverterDelayFraction
+	}
+	return o.UnequalSplitDelayFraction + latchOrConverter
+}
+
+// GuardbandedVTFET returns the TFET supply after raising it to meet CMOS
+// timing despite the stage-delay overhead: 0.40 V + 40 mV = 0.44 V.
+func (o OverheadModel) GuardbandedVTFET() float64 {
+	return NominalVTFET + o.GuardbandVoltage
+}
+
+// TFETPowerIncrease returns the multiplicative increase in TFET dynamic
+// power caused by the guardband voltage raise (≈1.24, i.e. +24%).
+func (o OverheadModel) TFETPowerIncrease() float64 {
+	r := o.GuardbandedVTFET() / NominalVTFET
+	return math.Pow(r, o.PowerVoltageExponent)
+}
+
+// EffectiveDynamicPowerSavings returns the dynamic-power advantage of a
+// HetJTFET unit over a Si-CMOS unit after the multi-Vdd overheads: the
+// ideal 8x divided by the guardband power increase and the amortized
+// latch-power overhead. With the defaults this is ≈6.1x; the evaluation
+// then rounds it down to the conservative 4x.
+func (o OverheadModel) EffectiveDynamicPowerSavings() float64 {
+	ideal := AllTFETDynamicPowerFactor
+	// The added latches burn LatchPowerFraction of stage power, but only
+	// on the extra stages (half the stages of the doubled pipeline).
+	latch := 1 + o.LatchPowerFraction/2
+	return ideal / (o.TFETPowerIncrease() * latch)
+}

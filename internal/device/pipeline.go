@@ -1,0 +1,106 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file turns Section V-B into a usable planning tool: given the time
+// budget of one CMOS pipeline stage, how many TFET stages replace it, how
+// much slack the overheads consume, and what supply voltage the TFET
+// domain needs to close timing at the same clock.
+//
+// HetCore's answer is: twice the stages, each ideally doing half the
+// work; the unequal-split and latch/level-converter overheads make the
+// worst stage up to 15% late; raising V_TFET by 40 mV buys that 15% back
+// (at +24% dynamic power). The alternative — adding a third stage instead
+// of raising the voltage — keeps the low supply but lengthens the unit's
+// latency, which the core feels on every dependent chain.
+
+// PipelinePlan describes how one CMOS pipeline stage maps onto a TFET
+// implementation at the same clock frequency.
+type PipelinePlan struct {
+	// CMOSStagePS is the stage time budget (one clock period's logic).
+	CMOSStagePS float64
+	// Stages is how many TFET stages replace one CMOS stage.
+	Stages int
+	// IdealStagePS is the per-stage logic time before overheads.
+	IdealStagePS float64
+	// WorstStagePS is the slowest stage after the unequal-split and
+	// latch/level-converter overheads.
+	WorstStagePS float64
+	// VTFET is the supply the TFET domain needs so the worst stage
+	// still fits the budget.
+	VTFET float64
+	// DynamicPowerFactor is the TFET unit's dynamic power relative to
+	// operating at NominalVTFET (1.0 = no guardband needed).
+	DynamicPowerFactor float64
+	// LatencyCycles is the unit's latency in clock cycles (= Stages per
+	// CMOS stage replaced).
+	LatencyCycles int
+}
+
+// Fits reports whether the worst stage closes timing at the given supply
+// without exceeding the CMOS stage budget.
+func (p PipelinePlan) Fits() bool {
+	return p.WorstStagePS <= p.CMOSStagePS*1.0000001
+}
+
+// PlanTFETStage maps one CMOS pipeline stage onto TFET stages using the
+// paper's approach: double the stages and raise V_TFET to absorb the
+// overheads. cmosStagePS is the logic budget of the CMOS stage.
+func PlanTFETStage(cmosStagePS float64, o OverheadModel) (PipelinePlan, error) {
+	if cmosStagePS <= 0 {
+		return PipelinePlan{}, fmt.Errorf("device: non-positive stage budget %v", cmosStagePS)
+	}
+	ratio := Characterize(HetJTFET).DelayRatio() // ≈2x slower logic
+	// Two TFET stages, each doing half the work at ~2x slower devices:
+	// ideally exactly one clock each.
+	stages := int(math.Ceil(ratio))
+	ideal := cmosStagePS * ratio / float64(stages)
+	worst := ideal * (1 + o.StageDelayOverhead())
+
+	// The guardband voltage speeds the stage up proportionally to the
+	// TFET curve's slope around the operating point.
+	curve := TFETFreqCurve()
+	f0 := curve.FrequencyGHz(NominalVTFET)
+	fGB := curve.FrequencyGHz(o.GuardbandedVTFET())
+	speedup := fGB / f0
+	worstAtGB := worst / speedup
+
+	plan := PipelinePlan{
+		CMOSStagePS:        cmosStagePS,
+		Stages:             stages,
+		IdealStagePS:       ideal,
+		WorstStagePS:       worstAtGB,
+		VTFET:              o.GuardbandedVTFET(),
+		DynamicPowerFactor: o.TFETPowerIncrease(),
+		LatencyCycles:      stages,
+	}
+	return plan, nil
+}
+
+// PlanTFETStageExtraStage is the alternative design point: keep V_TFET at
+// its nominal value and absorb the overheads by pipelining deeper instead.
+// The unit's latency grows by one cycle, but the TFET domain keeps its
+// full 8x dynamic-power advantage.
+func PlanTFETStageExtraStage(cmosStagePS float64, o OverheadModel) (PipelinePlan, error) {
+	if cmosStagePS <= 0 {
+		return PipelinePlan{}, fmt.Errorf("device: non-positive stage budget %v", cmosStagePS)
+	}
+	ratio := Characterize(HetJTFET).DelayRatio()
+	// Total logic time including overheads, split across enough stages
+	// that each fits the clock at the nominal supply.
+	total := cmosStagePS * ratio * (1 + o.StageDelayOverhead())
+	stages := int(math.Ceil(total / cmosStagePS))
+	ideal := total / float64(stages)
+	return PipelinePlan{
+		CMOSStagePS:        cmosStagePS,
+		Stages:             stages,
+		IdealStagePS:       ideal,
+		WorstStagePS:       ideal,
+		VTFET:              NominalVTFET,
+		DynamicPowerFactor: 1.0,
+		LatencyCycles:      stages,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package device
+
+import "testing"
+
+func TestPlanTFETStage(t *testing.T) {
+	o := DefaultOverheads()
+	// A 2 GHz clock gives a 500 ps stage budget.
+	p, err := PlanTFETStage(500, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stages != 2 {
+		t.Errorf("TFET stages = %d, want 2 (the paper's 2x-deeper pipeline)", p.Stages)
+	}
+	if p.LatencyCycles != 2 {
+		t.Errorf("latency = %d cycles, want 2", p.LatencyCycles)
+	}
+	if !p.Fits() {
+		t.Errorf("guardbanded plan misses timing: worst %v ps vs budget %v ps",
+			p.WorstStagePS, p.CMOSStagePS)
+	}
+	approx(t, p.VTFET, 0.44, 1e-9, "guardbanded V_TFET")
+	// The guardband costs ≈24% dynamic power.
+	approxRel(t, p.DynamicPowerFactor, 1.24, 0.02, "dynamic power factor")
+	// Without the guardband, the worst stage would overshoot the budget.
+	raw := p.IdealStagePS * (1 + o.StageDelayOverhead())
+	if raw <= p.CMOSStagePS {
+		t.Error("overheads should make the un-guardbanded stage miss timing")
+	}
+}
+
+func TestPlanTFETStageExtraStage(t *testing.T) {
+	o := DefaultOverheads()
+	p, err := PlanTFETStageExtraStage(500, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x logic + 15% overhead = 2.3 stage budgets -> 3 stages.
+	if p.Stages != 3 {
+		t.Errorf("extra-stage plan uses %d stages, want 3", p.Stages)
+	}
+	if !p.Fits() {
+		t.Error("extra-stage plan should close timing at the nominal supply")
+	}
+	if p.VTFET != NominalVTFET {
+		t.Errorf("extra-stage plan raised the supply to %v", p.VTFET)
+	}
+	if p.DynamicPowerFactor != 1.0 {
+		t.Errorf("extra-stage plan should keep full power savings, got %v", p.DynamicPowerFactor)
+	}
+
+	// The trade: one more cycle of latency, but lower power than the
+	// guardbanded plan.
+	gb, _ := PlanTFETStage(500, o)
+	if p.LatencyCycles <= gb.LatencyCycles {
+		t.Error("extra-stage plan should be longer-latency")
+	}
+	if p.DynamicPowerFactor >= gb.DynamicPowerFactor {
+		t.Error("extra-stage plan should be lower-power")
+	}
+}
+
+func TestPlanRejectsBadBudget(t *testing.T) {
+	o := DefaultOverheads()
+	if _, err := PlanTFETStage(0, o); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := PlanTFETStageExtraStage(-1, o); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package energy
+
+import "fmt"
+
+// CPUActivity is the activity vector of one CPU run (all cores combined),
+// assembled by hetsim from the core and hierarchy counters.
+type CPUActivity struct {
+	TimeSec float64
+	Cores   int
+
+	Instructions uint64
+	BPredLookups uint64
+
+	IntRFReads, IntRFWrites uint64
+	FPRFReads, FPRFWrites   uint64
+
+	ALUFastOps, ALUSlowOps       uint64 // branch+ALU ops by cluster half
+	MulOps, DivOps               uint64
+	FPAddOps, FPMulOps, FPDivOps uint64
+	MemOps                       uint64 // AGU activations (loads+stores)
+
+	IL1Accesses     uint64
+	DL1Accesses     uint64 // plain DL1, or the slow array when asymmetric
+	DL1FastAccesses uint64 // asymmetric CMOS way (0 when plain)
+	L2Accesses      uint64
+	L3Accesses      uint64
+	RingHops        uint64
+	DRAMAccesses    uint64
+}
+
+// CPUAssign maps each replaceable unit to its technology scaling. hetsim
+// builds one per configuration (Table IV).
+type CPUAssign struct {
+	// Core covers the always-CMOS machinery in HetCore designs —
+	// frontend, rename, ROB, IQ, register files, branch predictor, LSU,
+	// IL1 — and becomes TFET only in the all-TFET BaseTFET.
+	Core Scale
+	// ALUSlow scales the ops executed on the main ALU pool; ALUFast the
+	// dual-speed CMOS ALU's ops. ALULeak is the pool's blended leakage
+	// (e.g. 1/4 CMOS + 3/4 TFET in AdvHet).
+	ALUSlow, ALUFast, ALULeak Scale
+	// Mul covers the integer multiply/divide pool (moved to TFET
+	// together with the ALUs in BaseHet).
+	Mul Scale
+	FPU Scale
+	// DL1 covers the data cache (the slow ways when asymmetric);
+	// DL1Fast the asymmetric CMOS way.
+	DL1, DL1Fast Scale
+	L2, L3       Scale
+}
+
+// AllCMOSAssign returns the BaseCMOS assignment: everything at baseline.
+func AllCMOSAssign() CPUAssign {
+	c := CMOSScale()
+	return CPUAssign{Core: c, ALUSlow: c, ALUFast: c, ALULeak: c,
+		Mul: c, FPU: c, DL1: c, DL1Fast: c, L2: c, L3: c}
+}
+
+// Validate rejects zero-valued (unset) scales.
+func (a CPUAssign) Validate() error {
+	for _, s := range []Scale{a.Core, a.ALUSlow, a.ALUFast, a.ALULeak, a.Mul, a.FPU, a.DL1, a.DL1Fast, a.L2, a.L3} {
+		if s.Dyn <= 0 || s.Leak <= 0 {
+			return fmt.Errorf("energy: unset scale in assignment %+v", a)
+		}
+	}
+	return nil
+}
+
+// Breakdown is the energy result in joules, split the way Figure 8 plots
+// it: core (including the L1s), L2 and L3, each divided into dynamic and
+// leakage. DRAM energy is tracked but excluded from Total, matching the
+// paper's scope.
+type Breakdown struct {
+	CoreDyn, CoreLeak float64
+	L2Dyn, L2Leak     float64
+	L3Dyn, L3Leak     float64
+	DRAM              float64
+}
+
+// Total returns core+L2+L3 energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.CoreDyn + b.CoreLeak + b.L2Dyn + b.L2Leak + b.L3Dyn + b.L3Leak
+}
+
+// Dynamic returns the dynamic portion.
+func (b Breakdown) Dynamic() float64 { return b.CoreDyn + b.L2Dyn + b.L3Dyn }
+
+// Leakage returns the leakage portion.
+func (b Breakdown) Leakage() float64 { return b.CoreLeak + b.L2Leak + b.L3Leak }
+
+// Add accumulates another breakdown (used when summing cores or phases).
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		CoreDyn: b.CoreDyn + o.CoreDyn, CoreLeak: b.CoreLeak + o.CoreLeak,
+		L2Dyn: b.L2Dyn + o.L2Dyn, L2Leak: b.L2Leak + o.L2Leak,
+		L3Dyn: b.L3Dyn + o.L3Dyn, L3Leak: b.L3Leak + o.L3Leak,
+		DRAM: b.DRAM + o.DRAM,
+	}
+}
+
+const (
+	pj = 1e-12
+	mw = 1e-3
+)
+
+// ComputeCPU turns an activity vector into joules under a unit assignment.
+func ComputeCPU(lib CPULibrary, act CPUActivity, asn CPUAssign) (Breakdown, error) {
+	if err := asn.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if act.TimeSec < 0 || act.Cores <= 0 {
+		return Breakdown{}, fmt.Errorf("energy: bad activity (time %v, cores %d)", act.TimeSec, act.Cores)
+	}
+	var b Breakdown
+	f := func(n uint64) float64 { return float64(n) }
+
+	// ---- Core dynamic (includes L1s and the register files).
+	coreDyn := f(act.Instructions) * (lib.FetchDecodePJ + lib.RenamePJ + lib.ROBPJ + lib.IQPJ) * asn.Core.Dyn
+	coreDyn += f(act.BPredLookups) * lib.BPredPJ * asn.Core.Dyn
+	coreDyn += (f(act.IntRFReads)*lib.IntRFReadPJ + f(act.IntRFWrites)*lib.IntRFWritePJ) * asn.Core.Dyn
+	coreDyn += (f(act.FPRFReads)*lib.FPRFReadPJ + f(act.FPRFWrites)*lib.FPRFWritePJ) * asn.Core.Dyn
+	coreDyn += f(act.ALUSlowOps) * lib.ALUOpPJ * asn.ALUSlow.Dyn
+	coreDyn += f(act.ALUFastOps) * lib.ALUOpPJ * asn.ALUFast.Dyn
+	coreDyn += (f(act.MulOps)*lib.MulOpPJ + f(act.DivOps)*lib.DivOpPJ) * asn.Mul.Dyn
+	coreDyn += (f(act.FPAddOps)*lib.FPAddOpPJ + f(act.FPMulOps)*lib.FPMulOpPJ + f(act.FPDivOps)*lib.FPDivOpPJ) * asn.FPU.Dyn
+	coreDyn += f(act.MemOps) * lib.AGUOpPJ * asn.Core.Dyn
+	coreDyn += f(act.IL1Accesses) * lib.IL1AccessPJ * asn.Core.Dyn
+	coreDyn += f(act.DL1Accesses) * lib.DL1AccessPJ * asn.DL1.Dyn
+	coreDyn += f(act.DL1FastAccesses) * lib.DL1FastAccessPJ * asn.DL1Fast.Dyn
+	b.CoreDyn = coreDyn * pj
+
+	// ---- Core leakage.
+	t := act.TimeSec
+	n := float64(act.Cores)
+	coreLeak := (lib.CoreLogicLeakMW + lib.BPredLeakMW + lib.IntRFLeakMW + lib.FPRFLeakMW +
+		lib.LSULeakMW + lib.IL1LeakMW) * asn.Core.Leak
+	coreLeak += lib.ALULeakMW * asn.ALULeak.Leak
+	coreLeak += lib.MulLeakMW * asn.Mul.Leak
+	coreLeak += lib.FPULeakMW * asn.FPU.Leak
+	coreLeak += lib.DL1LeakMW * asn.DL1.Leak
+	coreLeak += lib.DL1FastLeakMW * asn.DL1Fast.Leak
+	b.CoreLeak = coreLeak * mw * t * n
+
+	// ---- L2.
+	b.L2Dyn = f(act.L2Accesses) * lib.L2AccessPJ * asn.L2.Dyn * pj
+	b.L2Leak = lib.L2LeakMW * asn.L2.Leak * mw * t * n
+
+	// ---- L3 (shared; slice leakage scales with core count) + ring.
+	b.L3Dyn = (f(act.L3Accesses)*lib.L3AccessPJ*asn.L3.Dyn + f(act.RingHops)*lib.RingHopPJ*asn.Core.Dyn) * pj
+	b.L3Leak = lib.L3LeakMW * asn.L3.Leak * mw * t * n
+
+	b.DRAM = f(act.DRAMAccesses) * lib.DRAMAccessPJ * pj
+	return b, nil
+}
+
+// GPUActivity is the activity vector of one GPU kernel run.
+type GPUActivity struct {
+	TimeSec float64
+	CUs     int
+
+	WaveInsts         uint64
+	FMAOps, ScalarOps uint64
+	MemOps            uint64
+	RFReads, RFWrites uint64
+	RFCacheHits       uint64
+	RFCacheWrites     uint64
+	VL1Accesses       uint64
+	L2Accesses        uint64
+	DRAMAccesses      uint64
+}
+
+// GPUAssign maps GPU units to technology scales.
+type GPUAssign struct {
+	// SIMD covers the vector ALU/FMA pipelines; RF the vector register
+	// file; Other the schedulers/scalar units; VL1 and L2 the caches.
+	SIMD, RF, Other, VL1, L2 Scale
+}
+
+// AllCMOSGPUAssign returns the BaseCMOS GPU assignment.
+func AllCMOSGPUAssign() GPUAssign {
+	c := CMOSScale()
+	return GPUAssign{SIMD: c, RF: c, Other: c, VL1: c, L2: c}
+}
+
+// Validate rejects unset scales.
+func (a GPUAssign) Validate() error {
+	for _, s := range []Scale{a.SIMD, a.RF, a.Other, a.VL1, a.L2} {
+		if s.Dyn <= 0 || s.Leak <= 0 {
+			return fmt.Errorf("energy: unset scale in GPU assignment %+v", a)
+		}
+	}
+	return nil
+}
+
+// GPUBreakdown is the Figure 11 split: dynamic vs leakage (DRAM separate).
+type GPUBreakdown struct {
+	Dyn, Leak float64
+	DRAM      float64
+}
+
+// Total returns dynamic+leakage joules.
+func (b GPUBreakdown) Total() float64 { return b.Dyn + b.Leak }
+
+// ComputeGPU turns a GPU activity vector into joules.
+func ComputeGPU(lib GPULibrary, act GPUActivity, asn GPUAssign) (GPUBreakdown, error) {
+	if err := asn.Validate(); err != nil {
+		return GPUBreakdown{}, err
+	}
+	if act.TimeSec < 0 || act.CUs <= 0 {
+		return GPUBreakdown{}, fmt.Errorf("energy: bad GPU activity (time %v, CUs %d)", act.TimeSec, act.CUs)
+	}
+	f := func(n uint64) float64 { return float64(n) }
+	var dyn float64
+	dyn += f(act.WaveInsts) * lib.IssueCtrlPJ * asn.Other.Dyn
+	dyn += f(act.FMAOps) * lib.FMAOpPJ * asn.SIMD.Dyn
+	dyn += f(act.ScalarOps) * lib.ScalarOpPJ * asn.Other.Dyn
+	// Reads served by the RF cache avoid the big array; the cache itself
+	// is a small CMOS structure.
+	fullReads := act.RFReads - act.RFCacheHits
+	dyn += f(fullReads) * lib.RFReadPJ * asn.RF.Dyn
+	dyn += f(act.RFCacheHits) * lib.RFCacheAccessPJ
+	dyn += f(act.RFWrites) * lib.RFWritePJ * asn.RF.Dyn
+	dyn += f(act.RFCacheWrites) * lib.RFCacheAccessPJ
+	dyn += f(act.VL1Accesses) * lib.VL1AccessPJ * asn.VL1.Dyn
+	dyn += f(act.L2Accesses) * lib.L2AccessPJ * asn.L2.Dyn
+
+	leakMW := float64(act.CUs) * (lib.PerCUSIMDLeakMW*asn.SIMD.Leak +
+		lib.PerCURFLeakMW*asn.RF.Leak +
+		lib.PerCUOtherLeakMW*asn.Other.Leak +
+		lib.PerCUVL1LeakMW*asn.VL1.Leak)
+	leakMW += lib.L2LeakMW * asn.L2.Leak
+
+	return GPUBreakdown{
+		Dyn:  dyn * pj,
+		Leak: leakMW * mw * act.TimeSec,
+		DRAM: f(act.DRAMAccesses) * lib.DRAMAccessPJ * pj,
+	}, nil
+}
+
+// ED returns the energy-delay product in joule-seconds.
+func ED(joules, seconds float64) float64 { return joules * seconds }
+
+// ED2 returns the energy-delay-squared product.
+func ED2(joules, seconds float64) float64 { return joules * seconds * seconds }

@@ -1,0 +1,230 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleActivity is a plausible 4-core run: 4x500k instructions over
+// ~350k cycles at 2 GHz.
+func sampleActivity() CPUActivity {
+	return CPUActivity{
+		TimeSec: 350e3 / 2e9, Cores: 4,
+		Instructions: 2_000_000, BPredLookups: 200_000,
+		IntRFReads: 1_800_000, IntRFWrites: 1_200_000,
+		FPRFReads: 900_000, FPRFWrites: 600_000,
+		ALUFastOps: 0, ALUSlowOps: 700_000,
+		MulOps: 30_000, DivOps: 5_000,
+		FPAddOps: 280_000, FPMulOps: 300_000, FPDivOps: 40_000,
+		MemOps:      660_000,
+		IL1Accesses: 140_000, DL1Accesses: 660_000,
+		L2Accesses: 60_000, L3Accesses: 12_000,
+		RingHops: 30_000, DRAMAccesses: 3_000,
+	}
+}
+
+func TestComputeCPUBaseline(t *testing.T) {
+	lib := DefaultCPULibrary()
+	b, err := ComputeCPU(lib, sampleActivity(), AllCMOSAssign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("non-positive total energy")
+	}
+	// The calibration target: the all-CMOS core is ≈80% dynamic / ≈20%
+	// leakage (see package doc and DESIGN.md).
+	leakShare := b.Leakage() / b.Total()
+	if leakShare < 0.10 || leakShare > 0.35 {
+		t.Errorf("leakage share %.3f, want in [0.10, 0.35]", leakShare)
+	}
+	// Core (incl. L1s) should dominate; L3 leakage should be the
+	// largest leakage component (SRAM-dominated leakage).
+	if b.CoreDyn < b.L2Dyn+b.L3Dyn {
+		t.Error("core dynamic should dominate cache dynamic")
+	}
+	if b.L3Leak <= b.L2Leak {
+		t.Error("L3 slice should leak more than L2")
+	}
+}
+
+// Moving FPU+ALU+DL1+L2+L3 to TFET (the BaseHet assignment) must cut
+// energy substantially while leaving the CMOS frontend untouched.
+func TestComputeCPUBaseHetSavesEnergy(t *testing.T) {
+	lib := DefaultCPULibrary()
+	act := sampleActivity()
+	base, _ := ComputeCPU(lib, act, AllCMOSAssign())
+
+	asn := AllCMOSAssign()
+	tf := TFETScale()
+	asn.ALUSlow, asn.ALULeak, asn.Mul, asn.FPU = tf, tf, tf, tf
+	asn.DL1, asn.L2, asn.L3 = tf, tf, tf
+	// BaseHet is slower; reflect a 1.4x time stretch.
+	act.TimeSec *= 1.4
+	het, err := ComputeCPU(lib, act, asn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := het.Total() / base.Total()
+	if ratio < 0.45 || ratio > 0.85 {
+		t.Errorf("BaseHet energy ratio %.3f, want meaningful savings in [0.45, 0.85]", ratio)
+	}
+	if het.L3Leak >= base.L3Leak {
+		t.Error("TFET L3 should leak less despite longer runtime")
+	}
+}
+
+// An all-TFET core at half frequency (BaseTFET) should land near the
+// paper's 76% total-energy reduction.
+func TestComputeCPUBaseTFET(t *testing.T) {
+	lib := DefaultCPULibrary()
+	act := sampleActivity()
+	base, _ := ComputeCPU(lib, act, AllCMOSAssign())
+
+	tf := TFETScale()
+	asn := CPUAssign{Core: tf, ALUSlow: tf, ALUFast: tf, ALULeak: tf,
+		Mul: tf, FPU: tf, DL1: tf, DL1Fast: tf, L2: tf, L3: tf}
+	act.TimeSec *= 1.96 // half frequency
+	tfet, _ := ComputeCPU(lib, act, asn)
+	ratio := tfet.Total() / base.Total()
+	if ratio < 0.15 || ratio > 0.40 {
+		t.Errorf("BaseTFET energy ratio %.3f, want ≈0.24", ratio)
+	}
+}
+
+func TestHighVtScaleOnlyCutsLeakage(t *testing.T) {
+	lib := DefaultCPULibrary()
+	act := sampleActivity()
+	base, _ := ComputeCPU(lib, act, AllCMOSAssign())
+	asn := AllCMOSAssign()
+	hv := HighVtScale()
+	asn.ALUSlow, asn.ALULeak, asn.Mul, asn.FPU = hv, hv, hv, hv
+	got, _ := ComputeCPU(lib, act, asn)
+	if got.Dynamic() != base.Dynamic() {
+		t.Error("high-Vt changed dynamic energy")
+	}
+	if got.Leakage() >= base.Leakage() {
+		t.Error("high-Vt did not reduce leakage")
+	}
+}
+
+func TestScaleMul(t *testing.T) {
+	s := TFETScale().Mul(Scale{Dyn: 1.21, Leak: 1.331})
+	if math.Abs(s.Dyn-1.21/4) > 1e-12 || math.Abs(s.Leak-1.331/10) > 1e-12 {
+		t.Errorf("Mul = %+v", s)
+	}
+}
+
+func TestComputeCPUErrors(t *testing.T) {
+	lib := DefaultCPULibrary()
+	if _, err := ComputeCPU(lib, sampleActivity(), CPUAssign{}); err == nil {
+		t.Error("unset assignment accepted")
+	}
+	act := sampleActivity()
+	act.Cores = 0
+	if _, err := ComputeCPU(lib, act, AllCMOSAssign()); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	b := Breakdown{CoreDyn: 1, CoreLeak: 2, L2Dyn: 3, L2Leak: 4, L3Dyn: 5, L3Leak: 6, DRAM: 7}
+	if b.Total() != 21 {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if b.Dynamic() != 9 || b.Leakage() != 12 {
+		t.Errorf("Dynamic/Leakage = %v/%v", b.Dynamic(), b.Leakage())
+	}
+	sum := b.Add(b)
+	if sum.Total() != 42 || sum.DRAM != 14 {
+		t.Errorf("Add = %+v", sum)
+	}
+}
+
+func sampleGPUActivity() GPUActivity {
+	return GPUActivity{
+		TimeSec: 100e-6, CUs: 8,
+		WaveInsts: 2_000_000, FMAOps: 700_000, ScalarOps: 800_000, MemOps: 500_000,
+		RFReads: 3_500_000, RFWrites: 2_000_000,
+		RFCacheHits: 1_000_000, RFCacheWrites: 2_000_000,
+		VL1Accesses: 900_000, L2Accesses: 200_000, DRAMAccesses: 40_000,
+	}
+}
+
+func TestComputeGPUBaseline(t *testing.T) {
+	lib := DefaultGPULibrary()
+	b, err := ComputeGPU(lib, sampleGPUActivity(), AllCMOSGPUAssign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= 0 || b.Dyn <= b.Leak {
+		t.Errorf("GPU breakdown implausible: %+v", b)
+	}
+	leakShare := b.Leak / b.Total()
+	if leakShare < 0.02 || leakShare > 0.4 {
+		t.Errorf("GPU leakage share %.3f out of band", leakShare)
+	}
+}
+
+func TestComputeGPUHetSaves(t *testing.T) {
+	lib := DefaultGPULibrary()
+	act := sampleGPUActivity()
+	base, _ := ComputeGPU(lib, act, AllCMOSGPUAssign())
+	asn := AllCMOSGPUAssign()
+	asn.SIMD, asn.RF = TFETScale(), TFETScale()
+	act.TimeSec *= 1.25
+	het, _ := ComputeGPU(lib, act, asn)
+	ratio := het.Total() / base.Total()
+	if ratio < 0.4 || ratio > 0.9 {
+		t.Errorf("GPU BaseHet-like ratio %.3f, want meaningful savings", ratio)
+	}
+}
+
+func TestComputeGPUErrors(t *testing.T) {
+	lib := DefaultGPULibrary()
+	if _, err := ComputeGPU(lib, sampleGPUActivity(), GPUAssign{}); err == nil {
+		t.Error("unset GPU assignment accepted")
+	}
+	act := sampleGPUActivity()
+	act.CUs = 0
+	if _, err := ComputeGPU(lib, act, AllCMOSGPUAssign()); err == nil {
+		t.Error("zero CUs accepted")
+	}
+}
+
+func TestEDHelpers(t *testing.T) {
+	if ED(2, 3) != 6 || ED2(2, 3) != 18 {
+		t.Error("ED/ED2 arithmetic wrong")
+	}
+}
+
+// Property: energy is monotone in activity — more events never reduce
+// total energy; and any valid scale pair keeps energy positive.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	lib := DefaultCPULibrary()
+	f := func(extraOps uint32, dynQ, leakQ uint8) bool {
+		act := sampleActivity()
+		b1, err := ComputeCPU(lib, act, AllCMOSAssign())
+		if err != nil {
+			return false
+		}
+		act.ALUSlowOps += uint64(extraOps)
+		act.FPMulOps += uint64(extraOps)
+		b2, err := ComputeCPU(lib, act, AllCMOSAssign())
+		if err != nil {
+			return false
+		}
+		if b2.Total() < b1.Total() {
+			return false
+		}
+		asn := AllCMOSAssign()
+		s := Scale{Dyn: 0.1 + float64(dynQ)/64, Leak: 0.1 + float64(leakQ)/64}
+		asn.FPU = s
+		b3, err := ComputeCPU(lib, act, asn)
+		return err == nil && b3.Total() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

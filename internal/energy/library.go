@@ -1,0 +1,147 @@
+// Package energy implements the power/energy accounting of the HetCore
+// evaluation — the role McPAT and GPUWattch play in the paper. The
+// simulators (internal/cpu, internal/gpu, internal/cache) report activity
+// counts; this package multiplies them by per-event dynamic energies and
+// integrates per-unit leakage power over the run time, with per-unit
+// technology scaling:
+//
+//   - a TFET unit consumes 4x less dynamic energy per operation and 10x
+//     less leakage power than its (dual-Vt) CMOS implementation — the
+//     paper's deliberately conservative factors (Section VI);
+//   - high-Vt-only CMOS units (BaseHighVt) keep CMOS dynamic energy but
+//     leak 10x less;
+//   - DVFS and process-variation guardbands apply voltage-derived
+//     multipliers on top (internal/device.EnergyScale).
+//
+// Absolute joules are not calibrated against the authors' McPAT runs (no
+// such data exists to calibrate against); the coefficient table is
+// constructed so the all-CMOS core's energy is ≈80% dynamic / ≈20% leakage
+// with leakage concentrated in the SRAM arrays — the split required for
+// the paper's headline numbers to be reachable (see DESIGN.md).
+package energy
+
+// Scale is the technology multiplier pair applied to one unit.
+type Scale struct {
+	Dyn  float64 // multiplier on per-event dynamic energy
+	Leak float64 // multiplier on leakage power
+}
+
+// CMOSScale leaves the baseline (dual-Vt Si-CMOS) energies untouched.
+func CMOSScale() Scale { return Scale{Dyn: 1, Leak: 1} }
+
+// TFETScale applies the paper's conservative TFET factors: 4x lower
+// dynamic, 10x lower leakage.
+func TFETScale() Scale { return Scale{Dyn: 1.0 / 4, Leak: 1.0 / 10} }
+
+// HighVtScale models an all-high-Vt CMOS unit (BaseHighVt): unchanged
+// dynamic energy, 10x lower leakage.
+func HighVtScale() Scale { return Scale{Dyn: 1, Leak: 1.0 / 10} }
+
+// Mul composes two scales (e.g. technology × voltage guardband).
+func (s Scale) Mul(o Scale) Scale {
+	return Scale{Dyn: s.Dyn * o.Dyn, Leak: s.Leak * o.Leak}
+}
+
+// CPULibrary holds the per-event dynamic energies (picojoules) and
+// per-unit leakage powers (milliwatts) of one core plus its share of the
+// uncore, for the baseline dual-Vt Si-CMOS implementation at 0.73 V, 2 GHz,
+// 15 nm. Relative weights follow the McPAT literature: SRAM dominates
+// leakage; the out-of-order engine and the FPUs dominate dynamic power.
+type CPULibrary struct {
+	// Dynamic energy per event, pJ.
+	FetchDecodePJ   float64 // per instruction through the frontend
+	BPredPJ         float64 // per prediction
+	RenamePJ        float64 // per instruction renamed/dispatched
+	ROBPJ           float64 // per instruction (dispatch+commit ports)
+	IQPJ            float64 // per instruction (insert+wakeup+select)
+	IntRFReadPJ     float64
+	IntRFWritePJ    float64
+	FPRFReadPJ      float64
+	FPRFWritePJ     float64
+	ALUOpPJ         float64
+	MulOpPJ         float64
+	DivOpPJ         float64
+	FPAddOpPJ       float64
+	FPMulOpPJ       float64
+	FPDivOpPJ       float64
+	AGUOpPJ         float64 // per load/store address generation
+	IL1AccessPJ     float64
+	DL1AccessPJ     float64
+	DL1FastAccessPJ float64 // asymmetric cache CMOS way (CACTI: ≈1/3 size)
+	L2AccessPJ      float64
+	L3AccessPJ      float64
+	RingHopPJ       float64
+	DRAMAccessPJ    float64 // reported separately, excluded from totals
+
+	// Leakage power, mW (dual-Vt baseline: 60% high-Vt in core logic,
+	// high-Vt SRAM).
+	CoreLogicLeakMW float64 // frontend + rename + ROB + IQ + bypass
+	BPredLeakMW     float64
+	IntRFLeakMW     float64
+	FPRFLeakMW      float64
+	ALULeakMW       float64 // the whole ALU pool
+	MulLeakMW       float64
+	FPULeakMW       float64 // the whole FPU pool
+	LSULeakMW       float64
+	IL1LeakMW       float64
+	DL1LeakMW       float64
+	DL1FastLeakMW   float64 // asymmetric fast way (carved out of DL1)
+	L2LeakMW        float64
+	L3LeakMW        float64 // per-core 2 MB slice
+}
+
+// DefaultCPULibrary returns the calibrated coefficient table.
+func DefaultCPULibrary() CPULibrary {
+	return CPULibrary{
+		FetchDecodePJ: 4.0, BPredPJ: 1.2, RenamePJ: 3.0, ROBPJ: 2.0, IQPJ: 2.0,
+		IntRFReadPJ: 0.8, IntRFWritePJ: 1.2,
+		FPRFReadPJ: 1.2, FPRFWritePJ: 1.8,
+		ALUOpPJ: 4.0, MulOpPJ: 8.0, DivOpPJ: 16.0,
+		FPAddOpPJ: 8.0, FPMulOpPJ: 10.0, FPDivOpPJ: 24.0,
+		AGUOpPJ:     2.0,
+		IL1AccessPJ: 4.0, DL1AccessPJ: 6.0, DL1FastAccessPJ: 0.7,
+		L2AccessPJ: 12.0, L3AccessPJ: 30.0,
+		RingHopPJ: 2.0, DRAMAccessPJ: 2000,
+
+		CoreLogicLeakMW: 1.5, BPredLeakMW: 0.12,
+		IntRFLeakMW: 0.15, FPRFLeakMW: 0.2,
+		ALULeakMW: 0.6, MulLeakMW: 0.25, FPULeakMW: 0.9, LSULeakMW: 0.15,
+		IL1LeakMW: 0.45, DL1LeakMW: 0.6, DL1FastLeakMW: 0.06,
+		L2LeakMW: 1.0, L3LeakMW: 2.0,
+	}
+}
+
+// GPULibrary is the analogous table for one GPU (8 CUs baseline),
+// standing in for GPUWattch. Events are per wavefront instruction (the
+// 64-thread fan-out is folded into the coefficients).
+type GPULibrary struct {
+	IssueCtrlPJ     float64 // per wavefront instruction
+	FMAOpPJ         float64 // 64-lane fused multiply-add
+	ScalarOpPJ      float64
+	RFReadPJ        float64 // full vector RF read (64 threads)
+	RFWritePJ       float64
+	RFCacheAccessPJ float64
+	VL1AccessPJ     float64
+	L2AccessPJ      float64
+	DRAMAccessPJ    float64
+
+	// Leakage, mW.
+	PerCUSIMDLeakMW  float64
+	PerCURFLeakMW    float64 // the RF is ≈10% of GPU power
+	PerCUOtherLeakMW float64
+	PerCUVL1LeakMW   float64
+	L2LeakMW         float64
+}
+
+// DefaultGPULibrary returns the calibrated GPU coefficient table.
+func DefaultGPULibrary() GPULibrary {
+	return GPULibrary{
+		IssueCtrlPJ: 16.0, FMAOpPJ: 30.0, ScalarOpPJ: 8.0,
+		RFReadPJ: 10.0, RFWritePJ: 14.0, RFCacheAccessPJ: 2.0,
+		VL1AccessPJ: 16.0, L2AccessPJ: 32.0, DRAMAccessPJ: 2000,
+
+		PerCUSIMDLeakMW: 6.0, PerCURFLeakMW: 5.0,
+		PerCUOtherLeakMW: 3.5, PerCUVL1LeakMW: 1.8,
+		L2LeakMW: 14.0,
+	}
+}

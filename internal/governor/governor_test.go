@@ -1,0 +1,150 @@
+package governor
+
+import (
+	"testing"
+
+	"hetcore/internal/device"
+	"hetcore/internal/energy"
+)
+
+// advHetProfile approximates a 4-core AdvHet: ~35% of dynamic power in
+// TFET units, most leakage in the TFET caches.
+func advHetProfile() Profile {
+	return Profile{DynamicWatts: 0.20, LeakageWatts: 0.04,
+		CMOSDynShare: 0.65, CMOSLeakShare: 0.40}
+}
+
+func cmosProfile() Profile {
+	return Profile{DynamicWatts: 0.35, LeakageWatts: 0.08,
+		CMOSDynShare: 1.0, CMOSLeakShare: 1.0}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := advHetProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{DynamicWatts: -1, LeakageWatts: 1, CMOSDynShare: 0.5, CMOSLeakShare: 0.5},
+		{DynamicWatts: 0, LeakageWatts: 0, CMOSDynShare: 0.5, CMOSLeakShare: 0.5},
+		{DynamicWatts: 1, LeakageWatts: 1, CMOSDynShare: 1.5, CMOSLeakShare: 0.5},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestFromMeasurement(t *testing.T) {
+	bd := energy.Breakdown{CoreDyn: 8e-6, CoreLeak: 2e-6}
+	p, err := FromMeasurement(bd, 100e-6, 0.7, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.DynamicWatts - 0.08; d > 1e-12 || d < -1e-12 {
+		t.Errorf("dynamic = %v, want 0.08", p.DynamicWatts)
+	}
+	if d := p.LeakageWatts - 0.02; d > 1e-12 || d < -1e-12 {
+		t.Errorf("leakage = %v, want 0.02", p.LeakageWatts)
+	}
+	if _, err := FromMeasurement(bd, 0, 0.7, 0.4); err == nil {
+		t.Error("zero time accepted")
+	}
+}
+
+func TestPowerAtNominalIsIdentity(t *testing.T) {
+	d := device.NewDVFS()
+	p := advHetProfile()
+	w, err := PowerAt(p, 2.0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.DynamicWatts + p.LeakageWatts
+	if diff := w - want; diff > 1e-3 || diff < -1e-3 {
+		t.Errorf("power at nominal = %v, want %v", w, want)
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	d := device.NewDVFS()
+	p := advHetProfile()
+	prev := 0.0
+	for f := 1.2; f <= 2.8; f += 0.1 {
+		w, err := PowerAt(p, f, d)
+		if err != nil {
+			t.Fatalf("f=%v: %v", f, err)
+		}
+		if w <= prev {
+			t.Fatalf("power not increasing at %v GHz", f)
+		}
+		prev = w
+	}
+}
+
+// Section III-D: above the nominal point, the hetero-device core's power
+// grows relatively faster than the all-CMOS core's, because the TFET
+// curve demands a larger voltage step.
+func TestHeteroPowerSteeperAboveNominal(t *testing.T) {
+	d := device.NewDVFS()
+	het, cmos := advHetProfile(), cmosProfile()
+	hetNom, _ := PowerAt(het, 2.0, d)
+	cmosNom, _ := PowerAt(cmos, 2.0, d)
+	hetBoost, _ := PowerAt(het, 2.5, d)
+	cmosBoost, _ := PowerAt(cmos, 2.5, d)
+	if hetBoost/hetNom <= cmosBoost/cmosNom {
+		t.Errorf("hetero boost factor %.3f should exceed CMOS %.3f",
+			hetBoost/hetNom, cmosBoost/cmosNom)
+	}
+}
+
+func TestSelectRespectsBudget(t *testing.T) {
+	d := device.NewDVFS()
+	p := advHetProfile()
+	nominal, _ := PowerAt(p, 2.0, d)
+
+	// A comfortable budget allows boosting past nominal.
+	dec, err := Select(p, nominal*1.4, 1.0, 3.0, 0.05, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.FrequencyGHz <= 2.0 {
+		t.Errorf("ample budget chose %.2f GHz, want boost", dec.FrequencyGHz)
+	}
+	if dec.Watts > nominal*1.4 {
+		t.Errorf("decision exceeds budget: %v", dec.Watts)
+	}
+	if dec.Pair.VCMOS <= device.NominalVCMOS {
+		t.Error("boost should raise V_CMOS")
+	}
+
+	// A tight budget throttles below nominal.
+	dec, err = Select(p, nominal*0.6, 1.0, 3.0, 0.05, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.FrequencyGHz >= 2.0 {
+		t.Errorf("tight budget chose %.2f GHz, want throttle", dec.FrequencyGHz)
+	}
+
+	// An impossible budget errors out.
+	if _, err = Select(p, nominal*0.01, 1.0, 3.0, 0.05, d); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func TestSelectRejectsBadRange(t *testing.T) {
+	d := device.NewDVFS()
+	p := advHetProfile()
+	if _, err := Select(p, 1, 0, 3, 0.1, d); err == nil {
+		t.Error("zero fmin accepted")
+	}
+	if _, err := Select(p, 1, 3, 2, 0.1, d); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := Select(p, 1, 1, 3, 0, d); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Select(Profile{}, 1, 1, 3, 0.1, d); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}

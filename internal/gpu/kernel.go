@@ -1,0 +1,172 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kernel is the statistical profile of one GPU workload, standing in for
+// an AMD APP SDK OpenCL benchmark (Section VI-B: "all the applications
+// from the AMD-SDK-APP suite provided along with Multi2Sim").
+type Kernel struct {
+	// Name matches the AMD APP SDK sample it models.
+	Name string
+
+	// Wavefronts is the total number of wavefronts the kernel launches.
+	Wavefronts int
+	// InstsPerWave is the dynamic wavefront-instruction count per
+	// wavefront.
+	InstsPerWave int
+
+	// Instruction mix (normalised at build): FMA (vector float ops),
+	// Mem (vector loads/stores), the rest scalar/control.
+	FMAFrac, MemFrac float64
+
+	// DepProb is the probability an instruction depends on the previous
+	// instruction's result (serialises the wavefront's pipeline).
+	DepProb float64
+
+	// RegReuse is the probability a source register was among the
+	// recently written ones — the register-file-cache hit potential
+	// ("as much as 40% of the writes are consumed by reads within a few
+	// instructions").
+	RegReuse float64
+
+	// Divergence is the number of distinct cache lines a vector memory
+	// op touches (1 = fully coalesced, up to 16).
+	Divergence int
+
+	// WorkingSetBytes sizes the uniform data region accessed by vector
+	// memory ops; StreamFrac of accesses stream sequentially instead.
+	WorkingSetBytes uint64
+	StreamFrac      float64
+}
+
+// Validate checks the kernel profile.
+func (k Kernel) Validate() error {
+	if k.Wavefronts <= 0 || k.InstsPerWave <= 0 {
+		return fmt.Errorf("gpu: kernel %q has no work", k.Name)
+	}
+	if k.FMAFrac < 0 || k.MemFrac < 0 || k.FMAFrac+k.MemFrac > 1 {
+		return fmt.Errorf("gpu: kernel %q has bad mix (%v fma, %v mem)", k.Name, k.FMAFrac, k.MemFrac)
+	}
+	if k.DepProb < 0 || k.DepProb > 1 || k.RegReuse < 0 || k.RegReuse > 1 {
+		return fmt.Errorf("gpu: kernel %q has bad probabilities", k.Name)
+	}
+	if k.Divergence < 1 || k.Divergence > WavefrontSize {
+		return fmt.Errorf("gpu: kernel %q divergence %d out of [1,%d]", k.Name, k.Divergence, WavefrontSize)
+	}
+	if k.WorkingSetBytes == 0 {
+		return fmt.Errorf("gpu: kernel %q has zero working set", k.Name)
+	}
+	if k.StreamFrac < 0 || k.StreamFrac > 1 {
+		return fmt.Errorf("gpu: kernel %q stream fraction %v", k.Name, k.StreamFrac)
+	}
+	return nil
+}
+
+const (
+	kb = 1024
+	mb = 1024 * 1024
+)
+
+// kernels profiles ten AMD APP SDK samples: compute-bound dense kernels,
+// memory-bound transforms and irregular reductions.
+var kernels = []Kernel{
+	{Name: "BinarySearch", Wavefronts: 256, InstsPerWave: 600,
+		FMAFrac: 0.10, MemFrac: 0.35, DepProb: 0.75, RegReuse: 0.4,
+		Divergence: 8, WorkingSetBytes: 8 * mb, StreamFrac: 0.05},
+	{Name: "BitonicSort", Wavefronts: 384, InstsPerWave: 800,
+		FMAFrac: 0.15, MemFrac: 0.30, DepProb: 0.65, RegReuse: 0.45,
+		Divergence: 2, WorkingSetBytes: 1 * mb, StreamFrac: 0.20},
+	{Name: "DCT", Wavefronts: 320, InstsPerWave: 1200,
+		FMAFrac: 0.55, MemFrac: 0.15, DepProb: 0.65, RegReuse: 0.6,
+		Divergence: 1, WorkingSetBytes: 256 * kb, StreamFrac: 0.30},
+	{Name: "DwtHaar1D", Wavefronts: 256, InstsPerWave: 700,
+		FMAFrac: 0.40, MemFrac: 0.20, DepProb: 0.75, RegReuse: 0.55,
+		Divergence: 1, WorkingSetBytes: 192 * kb, StreamFrac: 0.40},
+	{Name: "FloydWarshall", Wavefronts: 512, InstsPerWave: 900,
+		FMAFrac: 0.25, MemFrac: 0.35, DepProb: 0.6, RegReuse: 0.45,
+		Divergence: 2, WorkingSetBytes: 2 * mb, StreamFrac: 0.10},
+	{Name: "Histogram", Wavefronts: 384, InstsPerWave: 650,
+		FMAFrac: 0.10, MemFrac: 0.40, DepProb: 0.6, RegReuse: 0.35,
+		Divergence: 12, WorkingSetBytes: 12 * mb, StreamFrac: 0.15},
+	{Name: "MatrixMultiplication", Wavefronts: 512, InstsPerWave: 1500,
+		FMAFrac: 0.60, MemFrac: 0.15, DepProb: 0.7, RegReuse: 0.65,
+		Divergence: 1, WorkingSetBytes: 384 * kb, StreamFrac: 0.10},
+	{Name: "MatrixTranspose", Wavefronts: 384, InstsPerWave: 500,
+		FMAFrac: 0.05, MemFrac: 0.50, DepProb: 0.5, RegReuse: 0.3,
+		Divergence: 4, WorkingSetBytes: 8 * mb, StreamFrac: 0.35},
+	{Name: "PrefixSum", Wavefronts: 256, InstsPerWave: 700,
+		FMAFrac: 0.30, MemFrac: 0.25, DepProb: 0.8, RegReuse: 0.6,
+		Divergence: 1, WorkingSetBytes: 256 * kb, StreamFrac: 0.25},
+	{Name: "Reduction", Wavefronts: 320, InstsPerWave: 600,
+		FMAFrac: 0.35, MemFrac: 0.25, DepProb: 0.8, RegReuse: 0.65,
+		Divergence: 1, WorkingSetBytes: 256 * kb, StreamFrac: 0.30},
+	{Name: "FastWalshTransform", Wavefronts: 320, InstsPerWave: 700,
+		FMAFrac: 0.35, MemFrac: 0.30, DepProb: 0.55, RegReuse: 0.45,
+		Divergence: 1, WorkingSetBytes: 1 * mb, StreamFrac: 0.25},
+	{Name: "MersenneTwister", Wavefronts: 256, InstsPerWave: 900,
+		FMAFrac: 0.20, MemFrac: 0.15, DepProb: 0.75, RegReuse: 0.55,
+		Divergence: 1, WorkingSetBytes: 512 * kb, StreamFrac: 0.40},
+	{Name: "MonteCarloAsian", Wavefronts: 384, InstsPerWave: 1400,
+		FMAFrac: 0.55, MemFrac: 0.10, DepProb: 0.65, RegReuse: 0.60,
+		Divergence: 1, WorkingSetBytes: 256 * kb, StreamFrac: 0.10},
+	{Name: "QuasiRandomSequence", Wavefronts: 256, InstsPerWave: 600,
+		FMAFrac: 0.30, MemFrac: 0.20, DepProb: 0.60, RegReuse: 0.50,
+		Divergence: 1, WorkingSetBytes: 384 * kb, StreamFrac: 0.30},
+	{Name: "RadixSort", Wavefronts: 384, InstsPerWave: 800,
+		FMAFrac: 0.05, MemFrac: 0.40, DepProb: 0.55, RegReuse: 0.30,
+		Divergence: 8, WorkingSetBytes: 6 * mb, StreamFrac: 0.20},
+	{Name: "ScanLargeArrays", Wavefronts: 320, InstsPerWave: 650,
+		FMAFrac: 0.25, MemFrac: 0.30, DepProb: 0.7, RegReuse: 0.50,
+		Divergence: 1, WorkingSetBytes: 2 * mb, StreamFrac: 0.35},
+	{Name: "SimpleConvolution", Wavefronts: 384, InstsPerWave: 1000,
+		FMAFrac: 0.50, MemFrac: 0.25, DepProb: 0.5, RegReuse: 0.55,
+		Divergence: 2, WorkingSetBytes: 1 * mb, StreamFrac: 0.30},
+	{Name: "SobelFilter", Wavefronts: 320, InstsPerWave: 750,
+		FMAFrac: 0.45, MemFrac: 0.25, DepProb: 0.5, RegReuse: 0.50,
+		Divergence: 2, WorkingSetBytes: 1 * mb, StreamFrac: 0.35},
+	{Name: "URNG", Wavefronts: 256, InstsPerWave: 500,
+		FMAFrac: 0.15, MemFrac: 0.25, DepProb: 0.65, RegReuse: 0.45,
+		Divergence: 4, WorkingSetBytes: 1 * mb, StreamFrac: 0.20},
+}
+
+// Kernels returns the GPU workload suite.
+func Kernels() []Kernel {
+	out := make([]Kernel, len(kernels))
+	copy(out, kernels)
+	return out
+}
+
+// KernelByName returns the named kernel or an error listing valid names.
+func KernelByName(name string) (Kernel, error) {
+	for _, k := range kernels {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	names := make([]string, len(kernels))
+	for i, k := range kernels {
+		names[i] = k.Name
+	}
+	sort.Strings(names)
+	return Kernel{}, fmt.Errorf("gpu: unknown kernel %q (have %v)", name, names)
+}
+
+// CompilerScheduled returns the kernel as a latency-aware compiler would
+// emit it: independent instructions hoisted between producers and
+// consumers, reducing the back-to-back dependency density by the given
+// fraction (0..1). This is the Section IV-C3/IV-C4 discussion point — the
+// paper notes that "the compiler could customize the binary to hide the
+// additional latency" of TFET FPUs and register files but leaves it to
+// future work; this transform quantifies the headroom.
+func (k Kernel) CompilerScheduled(reduction float64) (Kernel, error) {
+	if reduction < 0 || reduction > 1 {
+		return Kernel{}, fmt.Errorf("gpu: scheduling reduction %v out of [0,1]", reduction)
+	}
+	out := k
+	out.Name = k.Name + "+sched"
+	out.DepProb = k.DepProb * (1 - reduction)
+	return out, nil
+}

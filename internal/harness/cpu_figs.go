@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"fmt"
+
+	"hetcore/internal/device"
+	"hetcore/internal/energy"
+	"hetcore/internal/hetsim"
+	"hetcore/internal/trace"
+)
+
+// Options controls how much simulation each experiment performs.
+type Options struct {
+	// Instructions is the total instruction budget per CPU run (shared
+	// across cores). Zero uses the hetsim default.
+	Instructions uint64
+	// Seed drives workload synthesis.
+	Seed uint64
+	// Workloads restricts the CPU benchmark list (empty = all 14).
+	Workloads []string
+	// Kernels restricts the GPU benchmark list (empty = all 19).
+	Kernels []string
+}
+
+func (o Options) runOpts() hetsim.RunOpts {
+	return hetsim.RunOpts{TotalInstructions: o.Instructions, Seed: o.Seed}
+}
+
+func (o Options) cpuWorkloads() ([]trace.Profile, error) {
+	if len(o.Workloads) == 0 {
+		return trace.CPUWorkloads(), nil
+	}
+	out := make([]trace.Profile, 0, len(o.Workloads))
+	for _, name := range o.Workloads {
+		p, err := trace.CPUWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// fig7Configs is the configuration order of Figures 7-9.
+var fig7Configs = []string{"BaseCMOS", "BaseCMOS-Enh", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X"}
+
+// cpuSuite runs a set of configurations over the workloads and returns
+// results[config][workload].
+func cpuSuite(configs []string, opts Options) (map[string]map[string]hetsim.CPUResult, []string, error) {
+	profiles, err := opts.cpuWorkloads()
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(profiles))
+	results := make(map[string]map[string]hetsim.CPUResult, len(configs))
+	for _, cn := range configs {
+		cfg, err := hetsim.CPUConfigByName(cn)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[cn] = make(map[string]hetsim.CPUResult, len(profiles))
+		for i, p := range profiles {
+			names[i] = p.Name
+			res, err := hetsim.RunCPU(cfg, p, opts.runOpts())
+			if err != nil {
+				return nil, nil, fmt.Errorf("harness: %s/%s: %w", cn, p.Name, err)
+			}
+			results[cn][p.Name] = res
+		}
+	}
+	return results, names, nil
+}
+
+// normalisedTable builds a workload-per-row table of metric(config)/
+// metric(BaseCMOS) with an Average row, matching the paper's figures.
+func normalisedTable(id, title string, configs []string, results map[string]map[string]hetsim.CPUResult,
+	workloads []string, metric func(hetsim.CPUResult) float64) Table {
+
+	rows := make([]Row, 0, len(workloads)+1)
+	sums := make([]float64, len(configs))
+	for _, w := range workloads {
+		base := metric(results["BaseCMOS"][w])
+		vals := make([]float64, len(configs))
+		for i, cn := range configs {
+			vals[i] = metric(results[cn][w]) / base
+			sums[i] += vals[i]
+		}
+		rows = append(rows, Row{Label: w, Values: vals})
+	}
+	avg := make([]float64, len(configs))
+	for i := range avg {
+		avg[i] = sums[i] / float64(len(workloads))
+	}
+	rows = append(rows, Row{Label: "Average", Values: avg})
+	return Table{ID: id, Title: title, Columns: configs, Rows: rows,
+		Notes: "Normalised to BaseCMOS."}
+}
+
+// Fig7 reproduces Figure 7: execution time of the CPU designs.
+func Fig7(opts Options) (Table, error) {
+	results, workloads, err := cpuSuite(fig7Configs, opts)
+	if err != nil {
+		return Table{}, err
+	}
+	return normalisedTable("fig7", "Execution time of CPU designs",
+		fig7Configs, results, workloads,
+		func(r hetsim.CPUResult) float64 { return r.TimeSec }), nil
+}
+
+// Fig8 reproduces Figure 8: energy consumption of the CPU designs, with
+// the core/L2/L3 × dynamic/leakage breakdown for the averages.
+func Fig8(opts Options) (Table, error) {
+	results, workloads, err := cpuSuite(fig7Configs, opts)
+	if err != nil {
+		return Table{}, err
+	}
+	t := normalisedTable("fig8", "Energy consumption of CPU designs",
+		fig7Configs, results, workloads,
+		func(r hetsim.CPUResult) float64 { return r.Energy.Total() })
+
+	// Append the breakdown as extra note rows: average share of each
+	// component, normalised to BaseCMOS total.
+	var notes string
+	for _, cn := range fig7Configs {
+		var cd, cl, l2, l3 float64
+		for _, w := range workloads {
+			base := results["BaseCMOS"][w].Energy.Total()
+			e := results[cn][w].Energy
+			cd += e.CoreDyn / base
+			cl += e.CoreLeak / base
+			l2 += (e.L2Dyn + e.L2Leak) / base
+			l3 += (e.L3Dyn + e.L3Leak) / base
+		}
+		n := float64(len(workloads))
+		notes += fmt.Sprintf("%s: core-dyn %.2f core-leak %.2f L2 %.2f L3 %.2f | ",
+			cn, cd/n, cl/n, l2/n, l3/n)
+	}
+	t.Notes = "Normalised to BaseCMOS. Breakdown: " + notes
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: ED² of the CPU designs.
+func Fig9(opts Options) (Table, error) {
+	results, workloads, err := cpuSuite(fig7Configs, opts)
+	if err != nil {
+		return Table{}, err
+	}
+	return normalisedTable("fig9", "Energy-delay-squared (ED2) of CPU designs",
+		fig7Configs, results, workloads,
+		func(r hetsim.CPUResult) float64 { return r.ED2() }), nil
+}
+
+// fig13Configs is the configuration set of Figure 13's sensitivity study.
+var fig13Configs = []string{"BaseCMOS", "BaseL3", "BaseHighVt",
+	"BaseHet-FastALU", "BaseHet", "BaseHet-Enh", "BaseHet-Split", "AdvHet"}
+
+// Fig13 reproduces Figure 13: execution time, energy, ED and ED² of the
+// alternative CPU designs (averages over the workloads).
+func Fig13(opts Options) (Table, error) {
+	results, workloads, err := cpuSuite(fig13Configs, opts)
+	if err != nil {
+		return Table{}, err
+	}
+	metrics := []struct {
+		name string
+		f    func(hetsim.CPUResult) float64
+	}{
+		{"time", func(r hetsim.CPUResult) float64 { return r.TimeSec }},
+		{"energy", func(r hetsim.CPUResult) float64 { return r.Energy.Total() }},
+		{"ED", func(r hetsim.CPUResult) float64 { return r.ED() }},
+		{"ED2", func(r hetsim.CPUResult) float64 { return r.ED2() }},
+	}
+	rows := make([]Row, len(fig13Configs))
+	for i, cn := range fig13Configs {
+		vals := make([]float64, len(metrics))
+		for mi, m := range metrics {
+			var sum float64
+			for _, w := range workloads {
+				sum += m.f(results[cn][w]) / m.f(results["BaseCMOS"][w])
+			}
+			vals[mi] = sum / float64(len(workloads))
+		}
+		rows[i] = Row{Label: cn, Values: vals}
+	}
+	return Table{
+		ID: "fig13", Title: "Sensitivity analysis of HetCore CPU designs",
+		Columns: []string{"time", "energy", "ED", "ED2"},
+		Rows:    rows,
+		Notes:   "Averages over workloads, normalised to BaseCMOS.",
+	}, nil
+}
+
+// Fig14 reproduces Figure 14: energy of BaseCMOS and AdvHet under DVFS
+// (1.5, 2, 2.5 GHz) and with process-variation guardbands, normalised to
+// BaseCMOS at 2 GHz.
+func Fig14(opts Options) (Table, error) {
+	profiles, err := opts.cpuWorkloads()
+	if err != nil {
+		return Table{}, err
+	}
+	dvfs := device.NewDVFS()
+	nominal := dvfs.Nominal()
+
+	type point struct {
+		label   string
+		freq    float64
+		cmosAdj energy.Scale
+		tfetAdj energy.Scale
+	}
+	identity := energy.Scale{Dyn: 1, Leak: 1}
+	mk := func(label string, f float64) (point, error) {
+		pair, err := dvfs.PairFor(f)
+		if err != nil {
+			return point{}, err
+		}
+		cs := device.ScaleFrom(nominal.VCMOS, pair.VCMOS)
+		ts := device.ScaleFrom(nominal.VTFET, pair.VTFET)
+		return point{label: label, freq: f,
+			cmosAdj: energy.Scale{Dyn: cs.Dynamic, Leak: cs.Leakage},
+			tfetAdj: energy.Scale{Dyn: ts.Dynamic, Leak: ts.Leakage}}, nil
+	}
+	points := []point{{label: "BaseFreq-2GHz", freq: 2.0, cmosAdj: identity, tfetAdj: identity}}
+	boost, err := mk("BoostFreq-2.5GHz", 2.5)
+	if err != nil {
+		return Table{}, err
+	}
+	slow, err := mk("SlowFreq-1.5GHz", 1.5)
+	if err != nil {
+		return Table{}, err
+	}
+	points = append(points, boost, slow)
+
+	// Variation guardbands at the nominal frequency.
+	gb := device.DefaultVariationGuardband()
+	gbPair := gb.Apply(nominal)
+	cs, ts := device.EnergyScales(nominal, gbPair)
+	points = append(points, point{label: "ProcessVariation", freq: 2.0,
+		cmosAdj: energy.Scale{Dyn: cs.Dynamic, Leak: cs.Leakage},
+		tfetAdj: energy.Scale{Dyn: ts.Dynamic, Leak: ts.Leakage}})
+
+	configs := []string{"BaseCMOS", "AdvHet"}
+	var baseline float64
+	rows := make([]Row, 0, len(points))
+	for _, pt := range points {
+		vals := make([]float64, len(configs))
+		for ci, cn := range configs {
+			cfg, err := hetsim.CPUConfigByName(cn)
+			if err != nil {
+				return Table{}, err
+			}
+			cfg.Core.FreqGHz = pt.freq
+			cfg.Hier.FreqGHz = pt.freq
+			ro := opts.runOpts()
+			ro.CMOSAdjust = pt.cmosAdj
+			ro.TFETAdjust = pt.tfetAdj
+			var total float64
+			for _, p := range profiles {
+				res, err := hetsim.RunCPU(cfg, p, ro)
+				if err != nil {
+					return Table{}, err
+				}
+				total += res.Energy.Total()
+			}
+			vals[ci] = total
+		}
+		if pt.label == "BaseFreq-2GHz" {
+			baseline = vals[0]
+		}
+		rows = append(rows, Row{Label: pt.label, Values: vals})
+	}
+	for i := range rows {
+		for j := range rows[i].Values {
+			rows[i].Values[j] /= baseline
+		}
+	}
+	return Table{
+		ID: "fig14", Title: "Impact of DVFS and process variation on energy",
+		Columns: configs,
+		Rows:    rows,
+		Notes:   "Summed over workloads, normalised to BaseCMOS at 2 GHz.",
+	}, nil
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+
+	"hetcore/internal/device"
+)
+
+// TableI reproduces Table I: characteristics of the four technologies at
+// 15 nm, one column per technology.
+func TableI() Table {
+	cols := make([]string, len(device.Technologies))
+	for i, tech := range device.Technologies {
+		cols[i] = tech.String()
+	}
+	get := func(f func(device.Characteristics) float64) []float64 {
+		out := make([]float64, len(device.Technologies))
+		for i, tech := range device.Technologies {
+			out[i] = f(device.Characterize(tech))
+		}
+		return out
+	}
+	return Table{
+		ID:      "table1",
+		Title:   "Characteristics of CMOS and TFET technologies at 15nm",
+		Columns: cols,
+		Rows: []Row{
+			{Label: "Supply voltage (V)", Values: get(func(c device.Characteristics) float64 { return c.SupplyVoltage })},
+			{Label: "Transistor switching delay (ps)", Values: get(func(c device.Characteristics) float64 { return c.SwitchingDelayPS })},
+			{Label: "Interconnect delay per length (ps)", Values: get(func(c device.Characteristics) float64 { return c.InterconnectDelayPS })},
+			{Label: "32bit ALU delay (ps)", Values: get(func(c device.Characteristics) float64 { return c.ALUDelayPS })},
+			{Label: "Transistor switching energy (aJ)", Values: get(func(c device.Characteristics) float64 { return c.SwitchingEnergyAJ })},
+			{Label: "Interconnect energy per length (aJ)", Values: get(func(c device.Characteristics) float64 { return c.InterconnectEnergyAJ })},
+			{Label: "32bit ALU dynamic energy (fJ)", Values: get(func(c device.Characteristics) float64 { return c.ALUDynamicEnergyFJ })},
+			{Label: "32bit ALU leakage power (uW)", Values: get(func(c device.Characteristics) float64 { return c.ALULeakageUW })},
+			{Label: "ALU power density (W/cm2)", Values: get(func(c device.Characteristics) float64 { return c.ALUPowerDensity })},
+			{Label: "Delay ratio vs Si-CMOS", Values: get(func(c device.Characteristics) float64 { return c.DelayRatio() })},
+			{Label: "ALU energy ratio (Si-CMOS/this)", Values: get(func(c device.Characteristics) float64 { return c.ALUEnergyRatio() })},
+		},
+		Notes: "Data from Nikonov & Young; each device at its most cost-effective Vdd.",
+	}
+}
+
+// Fig1 reproduces Figure 1: I_D-V_G characteristics of N-HetJTFET and
+// N-MOSFET.
+func Fig1() Table {
+	tfet, mos := device.NHetJTFET(), device.NMOSFET()
+	var rows []Row
+	for v := 0.0; v <= 0.801; v += 0.05 {
+		rows = append(rows, Row{
+			Label:  fmt.Sprintf("Vg=%.2fV", v),
+			Values: []float64{tfet.Current(v) * 1e6, mos.Current(v) * 1e6},
+		})
+	}
+	cross, err := device.CrossoverVoltage(tfet, mos, 0.9)
+	notes := "Currents in µA/µm."
+	if err == nil {
+		notes = fmt.Sprintf("Currents in µA/µm. MOSFET overtakes HetJTFET at ≈%.2f V (paper: ≈0.6 V).", cross)
+	}
+	return Table{
+		ID:      "fig1",
+		Title:   "I-V characteristics of N-HetJTFET and N-MOSFET",
+		Columns: []string{"HetJTFET", "MOSFET"},
+		Rows:    rows,
+		Notes:   notes,
+	}
+}
+
+// Fig2 reproduces Figure 2: total power of a Si-CMOS ALU and a HetJTFET
+// ALU with varying activity factor.
+func Fig2() Table {
+	pts := device.ActivitySweep(10)
+	rows := make([]Row, len(pts))
+	for i, p := range pts {
+		rows[i] = Row{
+			Label:  fmt.Sprintf("activity=1/%d", 1<<i),
+			Values: []float64{p.CMOSUW, p.TFETUW, p.Ratio},
+		}
+	}
+	return Table{
+		ID:      "fig2",
+		Title:   "ALU power vs activity factor (dual-Vt Si-CMOS vs HetJTFET)",
+		Columns: []string{"CMOS(µW)", "TFET(µW)", "ratio"},
+		Rows:    rows,
+		Notes: fmt.Sprintf("Idle (leakage-only) ratio: %.0fx (paper: ≈125x).",
+			device.IdleLeakageRatio()),
+	}
+}
+
+// Fig3 reproduces Figure 3: the Vdd-frequency curves of both technologies
+// and the matched DVFS voltage pairs.
+func Fig3() Table {
+	cmos, tfet := device.CMOSFreqCurve(), device.TFETFreqCurve()
+	var rows []Row
+	for v := 0.25; v <= 0.951; v += 0.05 {
+		rows = append(rows, Row{
+			Label:  fmt.Sprintf("Vdd=%.2fV", v),
+			Values: []float64{cmos.FrequencyGHz(v), tfet.FrequencyGHz(v)},
+		})
+	}
+	d := device.NewDVFS()
+	nom := d.Nominal()
+	notes := fmt.Sprintf("Nominal pair: (%.3f V, %.3f V) at %.1f GHz.", nom.VCMOS, nom.VTFET, nom.FrequencyGHz)
+	if turbo, err := d.PairFor(2.5); err == nil {
+		notes += fmt.Sprintf(" Turbo 2.5 GHz: ΔV_CMOS=%+.0f mV, ΔV_TFET=%+.0f mV (paper: +75/+90).",
+			(turbo.VCMOS-nom.VCMOS)*1000, (turbo.VTFET-nom.VTFET)*1000)
+	}
+	return Table{
+		ID:      "fig3",
+		Title:   "Vdd-frequency curves for Si-CMOS and HetJTFET",
+		Columns: []string{"CMOS(GHz)", "TFET(GHz)"},
+		Rows:    rows,
+		Notes:   notes,
+	}
+}

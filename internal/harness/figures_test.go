@@ -1,0 +1,337 @@
+package harness
+
+import (
+	"testing"
+)
+
+// figOpts keeps the simulated figures fast in tests: a representative
+// workload subset and a reduced instruction budget.
+var figOpts = Options{
+	Instructions: 120_000,
+	Seed:         1,
+	Workloads:    []string{"barnes", "lu", "raytrace", "canneal", "blackscholes"},
+	Kernels:      []string{"MatrixMultiplication", "Histogram", "PrefixSum", "DCT", "BinarySearch"},
+}
+
+// Figure 7's headline shape: BaseTFET ≈2x slower, BaseHet ≈ +40%,
+// AdvHet within ≈15% of BaseCMOS, AdvHet-2X faster than BaseCMOS,
+// BaseCMOS-Enh ≈ BaseCMOS.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Fig7(figOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(c string) float64 {
+		v, err := tab.Cell("Average", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := avg("BaseTFET"); v < 1.85 || v > 2.15 {
+		t.Errorf("BaseTFET time %.3f, want ≈2x (paper 1.96)", v)
+	}
+	if v := avg("BaseHet"); v < 1.25 || v > 1.55 {
+		t.Errorf("BaseHet time %.3f, want ≈1.40", v)
+	}
+	if v := avg("AdvHet"); v < 1.02 || v > 1.25 {
+		t.Errorf("AdvHet time %.3f, want ≈1.10", v)
+	}
+	if v := avg("AdvHet-2X"); v >= 1.0 || v < 0.6 {
+		t.Errorf("AdvHet-2X time %.3f, want <1 (paper 0.68)", v)
+	}
+	if v := avg("BaseCMOS-Enh"); v < 0.93 || v > 1.07 {
+		t.Errorf("BaseCMOS-Enh time %.3f, want ≈1.0 (no improvement)", v)
+	}
+	if avg("AdvHet") >= avg("BaseHet") {
+		t.Error("AdvHet must be faster than BaseHet")
+	}
+}
+
+// Figure 8's shape: BaseTFET ≈ -76% energy, BaseHet/AdvHet ≈ -30..-39%,
+// AdvHet <= BaseHet, AdvHet-2X saves energy too.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Fig8(figOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(c string) float64 {
+		v, _ := tab.Cell("Average", c)
+		return v
+	}
+	if v := avg("BaseTFET"); v < 0.18 || v > 0.32 {
+		t.Errorf("BaseTFET energy %.3f, want ≈0.24", v)
+	}
+	if v := avg("BaseHet"); v < 0.58 || v > 0.80 {
+		t.Errorf("BaseHet energy %.3f, want ≈0.65", v)
+	}
+	if v := avg("AdvHet"); v < 0.55 || v > 0.78 {
+		t.Errorf("AdvHet energy %.3f, want ≈0.61", v)
+	}
+	if avg("AdvHet") > avg("BaseHet")+0.01 {
+		t.Errorf("AdvHet energy (%.3f) should not exceed BaseHet (%.3f)",
+			avg("AdvHet"), avg("BaseHet"))
+	}
+	if v := avg("AdvHet-2X"); v > 0.85 {
+		t.Errorf("AdvHet-2X energy %.3f, want clear savings (paper 0.66)", v)
+	}
+}
+
+// Figure 9's shape: AdvHet has the lowest single-width ED²; BaseHet is
+// worse than BaseCMOS; AdvHet-2X is the overall winner.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Fig9(figOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(c string) float64 {
+		v, _ := tab.Cell("Average", c)
+		return v
+	}
+	if avg("AdvHet") >= 1.0 {
+		t.Errorf("AdvHet ED² %.3f, want < 1 (paper 0.74)", avg("AdvHet"))
+	}
+	if avg("BaseHet") <= 1.0 {
+		t.Errorf("BaseHet ED² %.3f, want > 1 (slower design)", avg("BaseHet"))
+	}
+	if avg("AdvHet-2X") >= avg("AdvHet") {
+		t.Error("AdvHet-2X should have the best ED²")
+	}
+	// Paper: AdvHet's ED² is also below BaseTFET's.
+	if avg("AdvHet") >= avg("BaseTFET") {
+		t.Errorf("AdvHet ED² (%.3f) should beat BaseTFET (%.3f)",
+			avg("AdvHet"), avg("BaseTFET"))
+	}
+}
+
+// Figures 10-12: the GPU analogues.
+func TestFig10to12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	t10, err := Fig10(figOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(tab Table, c string) float64 {
+		v, _ := tab.Cell("Average", c)
+		return v
+	}
+	if v := avg(t10, "BaseTFET"); v < 1.9 || v > 2.1 {
+		t.Errorf("GPU BaseTFET time %.3f, want ≈2x", v)
+	}
+	if v := avg(t10, "BaseHet"); v < 1.1 || v > 1.4 {
+		t.Errorf("GPU BaseHet time %.3f, want ≈1.28", v)
+	}
+	if v := avg(t10, "AdvHet"); v < 1.05 || v > 1.3 {
+		t.Errorf("GPU AdvHet time %.3f, want ≈1.20", v)
+	}
+	if avg(t10, "AdvHet") >= avg(t10, "BaseHet") {
+		t.Error("GPU AdvHet should beat BaseHet (RF cache)")
+	}
+	if v := avg(t10, "AdvHet-2X"); v >= 1 {
+		t.Errorf("GPU AdvHet-2X time %.3f, want < 1 (paper 0.70)", v)
+	}
+
+	t11, err := Fig11(figOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := avg(t11, "BaseTFET"); v < 0.18 || v > 0.33 {
+		t.Errorf("GPU BaseTFET energy %.3f, want ≈0.25", v)
+	}
+	if v := avg(t11, "BaseHet"); v < 0.5 || v > 0.75 {
+		t.Errorf("GPU BaseHet energy %.3f, want ≈0.65", v)
+	}
+	if v := avg(t11, "AdvHet"); v < 0.5 || v > 0.72 {
+		t.Errorf("GPU AdvHet energy %.3f, want ≈0.60", v)
+	}
+
+	t12, err := Fig12(figOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg(t12, "AdvHet") >= 1.0 {
+		t.Errorf("GPU AdvHet ED² %.3f, want < 1 (paper 0.91)", avg(t12, "AdvHet"))
+	}
+	if avg(t12, "AdvHet-2X") >= avg(t12, "AdvHet") {
+		t.Error("GPU AdvHet-2X should have the best ED²")
+	}
+}
+
+// Figure 13's orderings among the alternative designs.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Fig13(figOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(row, col string) float64 {
+		v, err := tab.Cell(row, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// BaseL3: similar performance to BaseCMOS, ≈10% energy savings.
+	if v := get("BaseL3", "time"); v > 1.06 {
+		t.Errorf("BaseL3 time %.3f, want ≈1.0", v)
+	}
+	if v := get("BaseL3", "energy"); v < 0.80 || v > 0.97 {
+		t.Errorf("BaseL3 energy %.3f, want ≈0.90", v)
+	}
+	// BaseHighVt: slightly slower, no energy win.
+	if v := get("BaseHighVt", "time"); v <= 1.0 {
+		t.Errorf("BaseHighVt time %.3f, should be slower than BaseCMOS", v)
+	}
+	if v := get("BaseHighVt", "energy"); v < 0.93 {
+		t.Errorf("BaseHighVt energy %.3f, paper finds no real savings", v)
+	}
+	// BaseHet-FastALU: faster than BaseHet but spends more energy.
+	if get("BaseHet-FastALU", "time") >= get("BaseHet", "time") {
+		t.Error("BaseHet-FastALU should be faster than BaseHet")
+	}
+	if get("BaseHet-FastALU", "energy") <= get("BaseHet", "energy") {
+		t.Error("BaseHet-FastALU should consume more energy than BaseHet")
+	}
+	// The enhancement ladder: Enh >= Split >= AdvHet in time.
+	if get("BaseHet-Enh", "time") > get("BaseHet", "time")+0.01 {
+		t.Error("BaseHet-Enh should not be slower than BaseHet")
+	}
+	if get("BaseHet-Split", "time") > get("BaseHet-Enh", "time")+0.01 {
+		t.Error("BaseHet-Split should not be slower than BaseHet-Enh")
+	}
+	if get("AdvHet", "time") >= get("BaseHet-Split", "time") {
+		t.Error("AdvHet (asym DL1) should be the fastest Het variant")
+	}
+	// AdvHet has the best ED² of the family.
+	for _, other := range []string{"BaseL3", "BaseHighVt", "BaseHet", "BaseHet-FastALU", "BaseHet-Enh", "BaseHet-Split"} {
+		if get("AdvHet", "ED2") >= get(other, "ED2") {
+			t.Errorf("AdvHet ED² (%.3f) should beat %s (%.3f)",
+				get("AdvHet", "ED2"), other, get(other, "ED2"))
+		}
+	}
+}
+
+// Figure 14: AdvHet keeps saving ≈35-45% across DVFS points; savings are
+// larger at low frequency and smaller at boost; variation guardbands raise
+// absolute energy for both.
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := figOpts
+	opts.Workloads = []string{"barnes", "lu", "canneal"}
+	tab, err := Fig14(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(row, col string) float64 {
+		v, err := tab.Cell(row, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	baseSave := 1 - get("BaseFreq-2GHz", "AdvHet")/get("BaseFreq-2GHz", "BaseCMOS")
+	boostSave := 1 - get("BoostFreq-2.5GHz", "AdvHet")/get("BoostFreq-2.5GHz", "BaseCMOS")
+	slowSave := 1 - get("SlowFreq-1.5GHz", "AdvHet")/get("SlowFreq-1.5GHz", "BaseCMOS")
+	varSave := 1 - get("ProcessVariation", "AdvHet")/get("ProcessVariation", "BaseCMOS")
+	for name, s := range map[string]float64{"base": baseSave, "boost": boostSave, "slow": slowSave, "variation": varSave} {
+		if s < 0.20 || s > 0.55 {
+			t.Errorf("AdvHet %s savings %.3f, want ≈0.35-0.43", name, s)
+		}
+	}
+	if !(boostSave < baseSave && baseSave < slowSave) {
+		t.Errorf("savings ordering wrong: boost %.3f, base %.3f, slow %.3f (paper: 36%% < 39%% < 43%%)",
+			boostSave, baseSave, slowSave)
+	}
+	// Boost and variation raise absolute energy; slow reduces it.
+	if get("BoostFreq-2.5GHz", "BaseCMOS") <= get("BaseFreq-2GHz", "BaseCMOS") {
+		t.Error("boost should raise BaseCMOS energy")
+	}
+	if get("SlowFreq-1.5GHz", "BaseCMOS") >= get("BaseFreq-2GHz", "BaseCMOS") {
+		t.Error("slowdown should reduce BaseCMOS energy")
+	}
+	if get("ProcessVariation", "BaseCMOS") <= get("BaseFreq-2GHz", "BaseCMOS") {
+		t.Error("variation guardbands should raise energy")
+	}
+}
+
+// The ablations experiment: every mechanism helps performance (time < 1)
+// except the CMA FPU and partitioned-RF alternatives, which trade energy.
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Ablations(Options{Instructions: 120_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d ablation rows, want 6", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Values[0] > 1.02 {
+			t.Errorf("%s: time ratio %.3f — mechanism should not hurt", r.Label, r.Values[0])
+		}
+		if r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Errorf("%s: degenerate values %v", r.Label, r.Values)
+		}
+	}
+}
+
+// Option validation: unknown workload/kernel names surface as errors.
+func TestOptionsErrors(t *testing.T) {
+	if _, err := Fig7(Options{Workloads: []string{"doom"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Fig10(Options{Kernels: []string{"Crysis"}}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := Migration(Options{Workloads: []string{"doom"}}); err == nil {
+		t.Error("migration with unknown workload accepted")
+	}
+	if _, err := Fig14(Options{Workloads: []string{"doom"}}); err == nil {
+		t.Error("fig14 with unknown workload accepted")
+	}
+}
+
+// The migration experiment's headline: AdvHet wins time and ED² against
+// the migration CMP on a subset.
+func TestMigrationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Migration(Options{Instructions: 120_000, Seed: 1,
+		Workloads: []string{"barnes", "lu", "canneal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := tab.Cell("Average", "mig-time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig <= 1.0 {
+		t.Errorf("migration CMP time ratio %.3f, AdvHet should win", mig)
+	}
+	nomig, _ := tab.Cell("Average", "nomig-time")
+	if nomig <= mig {
+		t.Error("disabling migration should make the CMP worse")
+	}
+	ed2, _ := tab.Cell("Average", "mig-ED2")
+	if ed2 <= 1.0 {
+		t.Errorf("migration CMP ED² ratio %.3f, AdvHet should win", ed2)
+	}
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableHelpers(t *testing.T) {
+	tab := Table{
+		ID: "t", Title: "demo",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "x", Values: []float64{1, 2}},
+			{Label: "y", Values: []float64{3, 4}},
+		},
+		Notes: "n",
+	}
+	if v, err := tab.Cell("y", "b"); err != nil || v != 4 {
+		t.Errorf("Cell = %v, %v", v, err)
+	}
+	if _, err := tab.Cell("z", "a"); err == nil {
+		t.Error("missing row accepted")
+	}
+	if _, err := tab.Cell("x", "c"); err == nil {
+		t.Error("missing column accepted")
+	}
+	var buf bytes.Buffer
+	if err := tab.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "x", "y", "1.000", "4.000", "-- n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "label,a,b\nx,1,2\n") {
+		t.Errorf("CSV output wrong:\n%s", buf.String())
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 17 {
+		t.Fatalf("%d experiments, want 17", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.PaperRef == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range []string{"table1", "fig1", "fig2", "fig3", "table2", "table3",
+		"table4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "migration", "ablations"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if _, err := ByID("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestStaticExperimentsRun(t *testing.T) {
+	for _, id := range []string{"table1", "fig1", "fig2", "fig3", "table2", "table3", "table4"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := e.Run(Options{})
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		var buf bytes.Buffer
+		if err := tab.Format(&buf); err != nil {
+			t.Errorf("%s format: %v", id, err)
+		}
+	}
+}
+
+func TestTableIContent(t *testing.T) {
+	tab := TableI()
+	v, err := tab.Cell("Supply voltage (V)", "HetJTFET")
+	if err != nil || v != 0.40 {
+		t.Errorf("HetJTFET Vdd = %v, %v", v, err)
+	}
+	v, _ = tab.Cell("32bit ALU dynamic energy (fJ)", "Si-CMOS")
+	if v != 170.1 {
+		t.Errorf("Si-CMOS ALU energy = %v", v)
+	}
+	r, _ := tab.Cell("Delay ratio vs Si-CMOS", "HomJTFET")
+	if r < 15 || r > 17 {
+		t.Errorf("HomJTFET delay ratio = %v, want ≈16", r)
+	}
+}
+
+func TestFig1Crossover(t *testing.T) {
+	tab := Fig1()
+	// TFET leads at 0.35 V, MOSFET leads at 0.80 V.
+	tl, _ := tab.Cell("Vg=0.35V", "HetJTFET")
+	ml, _ := tab.Cell("Vg=0.35V", "MOSFET")
+	if tl <= ml {
+		t.Error("TFET should lead at low voltage")
+	}
+	th, _ := tab.Cell("Vg=0.80V", "HetJTFET")
+	mh, _ := tab.Cell("Vg=0.80V", "MOSFET")
+	if mh <= th {
+		t.Error("MOSFET should lead at high voltage")
+	}
+	if !strings.Contains(tab.Notes, "overtakes") {
+		t.Errorf("crossover note missing: %q", tab.Notes)
+	}
+}
+
+func TestFig2RatioMonotone(t *testing.T) {
+	tab := Fig2()
+	prev := 0.0
+	for _, r := range tab.Rows {
+		ratio := r.Values[2]
+		if ratio <= prev {
+			t.Fatalf("ratio not increasing at %s", r.Label)
+		}
+		prev = ratio
+	}
+}
+
+func TestFig3Anchors(t *testing.T) {
+	tab := Fig3()
+	c, err := tab.Cell("Vdd=0.40V", "TFET(GHz)")
+	if err != nil || c < 0.95 || c > 1.05 {
+		t.Errorf("TFET f(0.40) = %v", c)
+	}
+	if !strings.Contains(tab.Notes, "Turbo") {
+		t.Errorf("DVFS note missing: %q", tab.Notes)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := Table{ID: "t", Title: "demo", Columns: []string{"a"},
+		Rows: []Row{{Label: "x", Values: []float64{1.5}}}}
+	var buf bytes.Buffer
+	if err := tab.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Table
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "t" || len(decoded.Rows) != 1 || decoded.Rows[0].Values[0] != 1.5 {
+		t.Errorf("round trip lost data: %+v", decoded)
+	}
+}

@@ -1,0 +1,82 @@
+package hetsim
+
+import (
+	"testing"
+
+	"hetcore/internal/trace"
+)
+
+// TestCalibrationShape prints (with -v) and loosely checks the headline
+// shape of Figure 7/8: normalized execution time and energy per config,
+// averaged over a subset of workloads. The tight per-figure assertions
+// live in the harness package; this test is the canary for gross
+// miscalibration.
+func TestCalibrationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	workloads := []string{"barnes", "lu", "raytrace", "canneal", "blackscholes"}
+	configs := []string{"BaseCMOS", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X"}
+	opts := RunOpts{TotalInstructions: 200_000, Seed: 1}
+
+	type agg struct{ time, eng float64 }
+	sums := make(map[string]agg)
+	for _, w := range workloads {
+		prof, err := trace.CPUWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var baseT, baseE float64
+		for _, cn := range configs {
+			cfg, err := CPUConfigByName(cn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunCPU(cfg, prof, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cn, w, err)
+			}
+			if cn == "BaseCMOS" {
+				baseT, baseE = res.TimeSec, res.Energy.Total()
+			}
+			nt := res.TimeSec / baseT
+			ne := res.Energy.Total() / baseE
+			t.Logf("%-12s %-14s time %.3f energy %.3f (ipc %.2f dl1 %.3f fast %.3f misp %.3f)",
+				w, cn, nt, ne, res.IPC, res.DL1HitRate, res.FastHitRate, res.MispredictRate)
+			a := sums[cn]
+			a.time += nt
+			a.eng += ne
+			sums[cn] = a
+		}
+	}
+	n := float64(len(workloads))
+	for _, cn := range configs {
+		a := sums[cn]
+		t.Logf("AVG %-14s time %.3f energy %.3f", cn, a.time/n, a.eng/n)
+	}
+
+	// Gross-shape assertions (wide bands; the harness tightens them).
+	avg := func(cn string) (float64, float64) { a := sums[cn]; return a.time / n, a.eng / n }
+	tT, eT := avg("BaseTFET")
+	if tT < 1.6 || tT > 2.4 {
+		t.Errorf("BaseTFET time %.2f, want ≈2x", tT)
+	}
+	if eT > 0.45 {
+		t.Errorf("BaseTFET energy %.2f, want large savings", eT)
+	}
+	tH, eH := avg("BaseHet")
+	tA, eA := avg("AdvHet")
+	if !(tA < tH) {
+		t.Errorf("AdvHet (%.2f) should be faster than BaseHet (%.2f)", tA, tH)
+	}
+	if eH > 0.85 || eA > 0.85 {
+		t.Errorf("HetCore energies %.2f/%.2f, want < 0.85", eH, eA)
+	}
+	t2, e2 := avg("AdvHet-2X")
+	if t2 >= 1.0 {
+		t.Errorf("AdvHet-2X time %.2f, should beat BaseCMOS", t2)
+	}
+	if e2 > 0.9 {
+		t.Errorf("AdvHet-2X energy %.2f", e2)
+	}
+}

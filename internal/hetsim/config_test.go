@@ -1,0 +1,183 @@
+package hetsim
+
+import (
+	"testing"
+
+	"hetcore/internal/cpu"
+	"hetcore/internal/trace"
+)
+
+func TestCPUConfigsComplete(t *testing.T) {
+	cfgs := CPUConfigs()
+	want := []string{"BaseCMOS", "BaseCMOS-Enh", "BaseTFET", "BaseHet", "AdvHet",
+		"BaseL3", "BaseHighVt", "BaseHet-FastALU", "BaseHet-Enh", "BaseHet-Split",
+		"AdvHet-2X", "AdvHet-CMA"}
+	if len(cfgs) != len(want) {
+		t.Fatalf("%d CPU configs, want %d", len(cfgs), len(want))
+	}
+	byName := map[string]CPUConfig{}
+	for _, c := range cfgs {
+		byName[c.Name] = c
+	}
+	for _, name := range want {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing Table IV config %q", name)
+		}
+	}
+	// Every configuration must be internally valid.
+	for _, c := range cfgs {
+		if err := c.Core.Validate(); err != nil {
+			t.Errorf("%s core: %v", c.Name, err)
+		}
+		if err := c.Hier.Validate(); err != nil {
+			t.Errorf("%s hierarchy: %v", c.Name, err)
+		}
+		if err := c.Assign.Validate(); err != nil {
+			t.Errorf("%s assignment: %v", c.Name, err)
+		}
+		if c.Hier.Cores != c.Cores {
+			t.Errorf("%s: hierarchy cores %d != %d", c.Name, c.Hier.Cores, c.Cores)
+		}
+	}
+}
+
+func TestCPUConfigDetails(t *testing.T) {
+	base, _ := CPUConfigByName("BaseCMOS")
+	if base.Cores != 4 || base.FreqGHz() != 2.0 {
+		t.Errorf("BaseCMOS: %d cores @ %v GHz", base.Cores, base.FreqGHz())
+	}
+	if base.Core.ROBSize != 160 || base.Core.FPRegs != 80 {
+		t.Errorf("BaseCMOS windows: ROB %d FP %d", base.Core.ROBSize, base.Core.FPRegs)
+	}
+
+	tfet, _ := CPUConfigByName("BaseTFET")
+	if tfet.FreqGHz() != 1.0 {
+		t.Errorf("BaseTFET frequency %v, want 1.0 (half)", tfet.FreqGHz())
+	}
+	// All-TFET keeps CMOS cycle latencies (the clock slowed instead).
+	if tfet.Core.IntLat != cpu.CMOSLatencies() {
+		t.Error("BaseTFET latencies should match CMOS cycle counts")
+	}
+
+	het, _ := CPUConfigByName("BaseHet")
+	if het.Core.IntLat.ALU != 2 || het.Core.FPLat.FPDiv != 16 {
+		t.Errorf("BaseHet TFET latencies wrong: %+v", het.Core.IntLat)
+	}
+	if het.Hier.DL1RT != 4 || het.Hier.L2RT != 12 || het.Hier.L3RT != 40 {
+		t.Errorf("BaseHet cache RTs: %d/%d/%d", het.Hier.DL1RT, het.Hier.L2RT, het.Hier.L3RT)
+	}
+
+	adv, _ := CPUConfigByName("AdvHet")
+	if adv.Core.ROBSize != 192 || adv.Core.FPRegs != 128 {
+		t.Errorf("AdvHet windows: ROB %d FP %d, want 192/128", adv.Core.ROBSize, adv.Core.FPRegs)
+	}
+	if !adv.Core.DualSpeedALU || adv.Core.CMOSALULat != 1 || adv.Core.SteerWindow != adv.Core.IssueWidth {
+		t.Errorf("AdvHet dual-speed cluster misconfigured: %+v", adv.Core)
+	}
+	if !adv.Hier.AsymDL1 || adv.Hier.FastRT != 1 || adv.Hier.SlowRT != 5 {
+		t.Errorf("AdvHet asymmetric DL1 misconfigured: %+v", adv.Hier)
+	}
+
+	adv2, _ := CPUConfigByName("AdvHet-2X")
+	if adv2.Cores != 8 {
+		t.Errorf("AdvHet-2X cores = %d, want 8", adv2.Cores)
+	}
+
+	hv, _ := CPUConfigByName("BaseHighVt")
+	if hv.Core.IntLat != cpu.HighVtLatencies() {
+		t.Error("BaseHighVt should use high-Vt latencies")
+	}
+
+	fa, _ := CPUConfigByName("BaseHet-FastALU")
+	if fa.Core.IntLat.ALU != 1 {
+		t.Errorf("BaseHet-FastALU ALU latency %d, want 1 (CMOS)", fa.Core.IntLat.ALU)
+	}
+}
+
+func TestCPUConfigByNameError(t *testing.T) {
+	if _, err := CPUConfigByName("Pentium"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestGPUConfigsComplete(t *testing.T) {
+	cfgs := GPUConfigs()
+	want := []string{"BaseCMOS", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X", "AdvHet-PartRF"}
+	if len(cfgs) != len(want) {
+		t.Fatalf("%d GPU configs, want %d", len(cfgs), len(want))
+	}
+	for i, c := range cfgs {
+		if c.Name != want[i] {
+			t.Errorf("config %d = %q, want %q", i, c.Name, want[i])
+		}
+		if err := c.Dev.Validate(); err != nil {
+			t.Errorf("%s device: %v", c.Name, err)
+		}
+		if err := c.Assign.Validate(); err != nil {
+			t.Errorf("%s assignment: %v", c.Name, err)
+		}
+	}
+
+	base, _ := GPUConfigByName("BaseCMOS")
+	if !base.Dev.RFCache {
+		t.Error("BaseCMOS GPU must include the RF cache (paper: for fairness)")
+	}
+	tfet, _ := GPUConfigByName("BaseTFET")
+	if tfet.Dev.FreqGHz != 0.5 {
+		t.Errorf("BaseTFET GPU frequency %v, want 0.5", tfet.Dev.FreqGHz)
+	}
+	het, _ := GPUConfigByName("BaseHet")
+	if het.Dev.FMALat != 6 || het.Dev.RFLat != 2 || het.Dev.RFCache {
+		t.Errorf("BaseHet GPU misconfigured: %+v", het.Dev)
+	}
+	adv, _ := GPUConfigByName("AdvHet")
+	if !adv.Dev.RFCache {
+		t.Error("AdvHet GPU must have the RF cache")
+	}
+	adv2, _ := GPUConfigByName("AdvHet-2X")
+	if adv2.Dev.CUs != 16 {
+		t.Errorf("AdvHet-2X CUs = %d, want 16", adv2.Dev.CUs)
+	}
+	part, _ := GPUConfigByName("AdvHet-PartRF")
+	if !part.Dev.PartitionedRF || part.Dev.PartFastRegs != 32 || part.Dev.RFCache {
+		t.Errorf("AdvHet-PartRF misconfigured: %+v", part.Dev)
+	}
+	if _, err := GPUConfigByName("Vega"); err == nil {
+		t.Error("unknown GPU config accepted")
+	}
+}
+
+// Section IV-C4: the CMA FPU variant trades a cycle of FP latency for 20%
+// more FPU power. On an FP-heavy workload it should be no slower than
+// AdvHet and cost somewhat more energy — the "questionable tradeoff" the
+// paper declines.
+func TestAdvHetCMATradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	prof, err := trace.CPUWorkload("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, _ := CPUConfigByName("AdvHet")
+	cma, _ := CPUConfigByName("AdvHet-CMA")
+	if cma.Core.FPLat.FPAdd != 3 || cma.Core.FPLat.FPMul != 7 {
+		t.Fatalf("CMA latencies wrong: %+v", cma.Core.FPLat)
+	}
+	opts := RunOpts{TotalInstructions: 200_000, Seed: 1}
+	ra, err := RunCPU(adv, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := RunCPU(cma, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.TimeSec > ra.TimeSec {
+		t.Errorf("CMA FPU slower than FMA: %v vs %v", rc.TimeSec, ra.TimeSec)
+	}
+	if rc.Energy.Total() <= ra.Energy.Total() {
+		t.Errorf("CMA FPU should cost more energy: %v vs %v",
+			rc.Energy.Total(), ra.Energy.Total())
+	}
+}

@@ -1,0 +1,255 @@
+package hetsim
+
+import (
+	"fmt"
+
+	"hetcore/internal/cache"
+	"hetcore/internal/cpu"
+	"hetcore/internal/energy"
+	"hetcore/internal/trace"
+)
+
+// RunOpts controls a CPU simulation run.
+type RunOpts struct {
+	// TotalInstructions is the total work across all cores; a
+	// configuration with more cores shards the same work (the paper's
+	// fixed-power-budget comparison keeps the application constant).
+	TotalInstructions uint64
+	// WarmupInstructions run per core before measurement starts, to warm
+	// caches and predictors; their cycles, activity and energy are
+	// excluded. Defaults to TotalInstructions/8 (per core).
+	WarmupInstructions uint64
+	// Seed drives workload synthesis.
+	Seed uint64
+	// ChunkInstructions is the round-robin interleaving granularity for
+	// multicore runs (coherence interleaving fidelity vs speed).
+	ChunkInstructions uint64
+	// CMOSAdjust and TFETAdjust are voltage-derived energy adjustments
+	// (DVFS operating points, process-variation guardbands) applied on
+	// top of the technology scaling. Zero values mean identity.
+	CMOSAdjust, TFETAdjust energy.Scale
+}
+
+// withDefaults fills unset options.
+func (o RunOpts) withDefaults() RunOpts {
+	if o.TotalInstructions == 0 {
+		o.TotalInstructions = 400_000
+	}
+	if o.WarmupInstructions == 0 {
+		o.WarmupInstructions = o.TotalInstructions / 8
+	}
+	if o.ChunkInstructions == 0 {
+		o.ChunkInstructions = 4_000
+	}
+	id := energy.Scale{Dyn: 1, Leak: 1}
+	if o.CMOSAdjust == (energy.Scale{}) {
+		o.CMOSAdjust = id
+	}
+	if o.TFETAdjust == (energy.Scale{}) {
+		o.TFETAdjust = id
+	}
+	return o
+}
+
+// CPUResult is one (configuration, workload) measurement.
+type CPUResult struct {
+	Config   string
+	Workload string
+	Cores    int
+
+	Cycles  uint64 // slowest core's cycle count
+	TimeSec float64
+	Energy  energy.Breakdown
+
+	Instructions   uint64
+	IPC            float64 // aggregate, per-core-cycle
+	MispredictRate float64
+	DL1HitRate     float64
+	FastHitRate    float64 // asymmetric DL1 CMOS-way hit rate (0 if plain)
+}
+
+// ED returns the energy-delay product (J·s).
+func (r CPUResult) ED() float64 { return energy.ED(r.Energy.Total(), r.TimeSec) }
+
+// ED2 returns the energy-delay² product (J·s²).
+func (r CPUResult) ED2() float64 { return energy.ED2(r.Energy.Total(), r.TimeSec) }
+
+// memPort binds one core ID to the shared hierarchy.
+type memPort struct {
+	h    *cache.Hierarchy
+	core int
+}
+
+func (m memPort) InstFetch(pc uint64) int { return m.h.InstFetch(m.core, pc) }
+func (m memPort) Read(addr uint64) int    { return m.h.Read(m.core, addr) }
+func (m memPort) Write(addr uint64) int   { return m.h.Write(m.core, addr) }
+
+// RunCPU executes a workload on a configuration and returns the
+// measurement. Multicore runs shard the work across cores using the
+// profile's Amdahl serial fraction (the serial share executes on core 0)
+// and interleave execution in chunks so coherence traffic is exercised.
+func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) {
+	opts = opts.withDefaults()
+	if err := prof.Validate(); err != nil {
+		return CPUResult{}, err
+	}
+	hier, err := cache.NewHierarchy(cfg.Hier)
+	if err != nil {
+		return CPUResult{}, fmt.Errorf("hetsim %s: %w", cfg.Name, err)
+	}
+
+	n := cfg.Cores
+	cores := make([]*cpu.Core, n)
+	quota := make([]uint64, n)
+	parallel := float64(opts.TotalInstructions) * (1 - prof.SerialFrac) / float64(n)
+	for i := 0; i < n; i++ {
+		gen, err := trace.NewGenerator(prof, opts.Seed, i)
+		if err != nil {
+			return CPUResult{}, err
+		}
+		cores[i], err = cpu.NewCore(cfg.Core, memPort{h: hier, core: i}, gen)
+		if err != nil {
+			return CPUResult{}, fmt.Errorf("hetsim %s: %w", cfg.Name, err)
+		}
+		quota[i] = uint64(parallel)
+	}
+	// The serial fraction runs on core 0 alone.
+	quota[0] += uint64(float64(opts.TotalInstructions) * prof.SerialFrac)
+
+	runInterleaved := func(remaining []uint64) {
+		for {
+			active := false
+			for i := 0; i < n; i++ {
+				if remaining[i] == 0 {
+					continue
+				}
+				active = true
+				chunk := opts.ChunkInstructions
+				if chunk > remaining[i] {
+					chunk = remaining[i]
+				}
+				cores[i].Run(chunk)
+				remaining[i] -= chunk
+			}
+			if !active {
+				break
+			}
+		}
+	}
+
+	// Warmup: run every core for the warmup quota, then snapshot the
+	// counters so the measured region excludes cold-start effects.
+	warm := make([]uint64, n)
+	for i := range warm {
+		warm[i] = opts.WarmupInstructions
+	}
+	runInterleaved(warm)
+	coreSnap := make([]cpu.Stats, n)
+	for i, c := range cores {
+		coreSnap[i] = c.Stats()
+	}
+	hierSnap := hier.Counts()
+
+	remaining := make([]uint64, n)
+	copy(remaining, quota)
+	runInterleaved(remaining)
+
+	// Aggregate the measured region.
+	var maxCycles, insts uint64
+	var act energy.CPUActivity
+	var lookups, mispred uint64
+	for i, c := range cores {
+		s := c.Stats().Delta(coreSnap[i])
+		if s.Cycles > maxCycles {
+			maxCycles = s.Cycles
+		}
+		insts += s.Committed
+		act.Instructions += s.Committed
+		act.BPredLookups += s.BPred.Lookups
+		lookups += s.BPred.Lookups
+		mispred += s.BPred.Mispredicts
+		act.IntRFReads += s.IntRegReads
+		act.IntRFWrites += s.IntRegWrites
+		act.FPRFReads += s.FPRegReads
+		act.FPRFWrites += s.FPRegWrites
+		act.ALUFastOps += s.ALUFastOps
+		act.ALUSlowOps += s.ALUSlowOps
+		act.MulOps += s.Ops[trace.IntMul]
+		act.DivOps += s.Ops[trace.IntDiv]
+		act.FPAddOps += s.Ops[trace.FPAdd]
+		act.FPMulOps += s.Ops[trace.FPMul]
+		act.FPDivOps += s.Ops[trace.FPDiv]
+		act.MemOps += s.Ops[trace.Load] + s.Ops[trace.Store]
+		_ = i
+	}
+	counts := hier.Counts().Delta(hierSnap)
+	act.IL1Accesses = counts.IL1.Accesses()
+	if cfg.Hier.AsymDL1 {
+		act.DL1Accesses = counts.DL1Slow.Accesses()
+		act.DL1FastAccesses = counts.DL1Fast.Accesses()
+	} else {
+		act.DL1Accesses = counts.DL1.Accesses()
+	}
+	act.L2Accesses = counts.L2.Accesses()
+	act.L3Accesses = counts.L3.Accesses()
+	act.RingHops = counts.RingHops
+	act.DRAMAccesses = counts.DRAMAccesses
+
+	timeSec := float64(maxCycles) / (cfg.FreqGHz() * 1e9)
+	act.TimeSec = timeSec
+	act.Cores = n
+
+	asn := adjustAssign(cfg.Assign, opts.CMOSAdjust, opts.TFETAdjust)
+	bd, err := energy.ComputeCPU(energy.DefaultCPULibrary(), act, asn)
+	if err != nil {
+		return CPUResult{}, err
+	}
+
+	res := CPUResult{
+		Config: cfg.Name, Workload: prof.Name, Cores: n,
+		Cycles: maxCycles, TimeSec: timeSec, Energy: bd,
+		Instructions: insts,
+		DL1HitRate:   counts.DL1.HitRate(),
+	}
+	if cfg.Hier.AsymDL1 {
+		fa, sl := counts.DL1Fast, counts.DL1Slow
+		if total := fa.Accesses(); total > 0 {
+			hits := total - fa.Misses() + (sl.Reads - sl.ReadMisses)
+			if hits > total {
+				hits = total
+			}
+			res.DL1HitRate = float64(hits) / float64(total)
+			res.FastHitRate = fa.HitRate()
+		}
+	}
+	if maxCycles > 0 {
+		res.IPC = float64(insts) / float64(maxCycles) / float64(n)
+	}
+	if lookups > 0 {
+		res.MispredictRate = float64(mispred) / float64(lookups)
+	}
+	return res, nil
+}
+
+// adjustAssign applies voltage-derived adjustments per domain. A unit is
+// classified as TFET-domain when its dynamic scale is below 1 (the
+// conservative 4x factor); CMOS and high-Vt units keep dynamic scale 1.
+func adjustAssign(a energy.CPUAssign, cmosAdj, tfetAdj energy.Scale) energy.CPUAssign {
+	adj := func(s energy.Scale) energy.Scale {
+		if s.Dyn < 1 {
+			return s.Mul(tfetAdj)
+		}
+		return s.Mul(cmosAdj)
+	}
+	a.Core = adj(a.Core)
+	a.ALUSlow = adj(a.ALUSlow)
+	a.ALUFast = adj(a.ALUFast)
+	a.ALULeak = adj(a.ALULeak)
+	a.Mul = adj(a.Mul)
+	a.FPU = adj(a.FPU)
+	a.DL1 = adj(a.DL1)
+	a.DL1Fast = adj(a.DL1Fast)
+	a.L2 = adj(a.L2)
+	a.L3 = adj(a.L3)
+	return a
+}

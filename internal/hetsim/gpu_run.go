@@ -1,0 +1,57 @@
+package hetsim
+
+import (
+	"fmt"
+
+	"hetcore/internal/energy"
+	"hetcore/internal/gpu"
+)
+
+// GPUResult is one (configuration, kernel) measurement.
+type GPUResult struct {
+	Config string
+	Kernel string
+	CUs    int
+
+	Cycles  uint64
+	TimeSec float64
+	Energy  energy.GPUBreakdown
+
+	WaveInsts      uint64
+	RFCacheHitRate float64
+}
+
+// ED returns the energy-delay product (J·s).
+func (r GPUResult) ED() float64 { return energy.ED(r.Energy.Total(), r.TimeSec) }
+
+// ED2 returns the energy-delay² product (J·s²).
+func (r GPUResult) ED2() float64 { return energy.ED2(r.Energy.Total(), r.TimeSec) }
+
+// RunGPU executes a kernel on a GPU configuration.
+func RunGPU(cfg GPUConfig, kern gpu.Kernel, seed uint64) (GPUResult, error) {
+	dev, err := gpu.NewDevice(cfg.Dev, kern, seed)
+	if err != nil {
+		return GPUResult{}, fmt.Errorf("hetsim %s: %w", cfg.Name, err)
+	}
+	s := dev.Run()
+
+	timeSec := s.TimeNS(cfg.Dev.FreqGHz) * 1e-9
+	act := energy.GPUActivity{
+		TimeSec: timeSec, CUs: cfg.Dev.CUs,
+		WaveInsts: s.WaveInsts,
+		FMAOps:    s.FMAOps, ScalarOps: s.ScalarOps, MemOps: s.MemOps,
+		RFReads: s.RFReads, RFWrites: s.RFWrites,
+		RFCacheHits: s.RFCacheHits, RFCacheWrites: s.RFCacheWrites,
+		VL1Accesses: s.VL1Reads, L2Accesses: s.L2Reads,
+		DRAMAccesses: s.DRAMAccesses,
+	}
+	bd, err := energy.ComputeGPU(energy.DefaultGPULibrary(), act, cfg.Assign)
+	if err != nil {
+		return GPUResult{}, err
+	}
+	return GPUResult{
+		Config: cfg.Name, Kernel: kern.Name, CUs: cfg.Dev.CUs,
+		Cycles: s.Cycles, TimeSec: timeSec, Energy: bd,
+		WaveInsts: s.WaveInsts, RFCacheHitRate: s.RFCacheHitRate(),
+	}, nil
+}

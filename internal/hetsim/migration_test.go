@@ -1,0 +1,79 @@
+package hetsim
+
+import (
+	"testing"
+
+	"hetcore/internal/trace"
+)
+
+func TestHeteroCMPValidation(t *testing.T) {
+	prof, _ := trace.CPUWorkload("lu")
+	if _, err := RunHeteroCMP(HeteroCMPConfig{CMOSCores: 0, TFETCores: 4}, prof, quickOpts); err == nil {
+		t.Error("zero CMOS cores accepted")
+	}
+	if _, err := RunHeteroCMP(DefaultHeteroCMP(), trace.Profile{}, quickOpts); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+// Barrier-aware migration must beat the naive even split: redistributing
+// work toward the fast CMOS cores removes the TFET stragglers.
+func TestMigrationHelps(t *testing.T) {
+	prof, _ := trace.CPUWorkload("barnes")
+	naive := DefaultHeteroCMP()
+	naive.Migrate = false
+	balanced := DefaultHeteroCMP()
+
+	rn, err := RunHeteroCMP(naive, prof, quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunHeteroCMP(balanced, prof, quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.TimeSec >= rn.TimeSec {
+		t.Errorf("migration did not help: %.3g s vs %.3g s", rb.TimeSec, rn.TimeSec)
+	}
+}
+
+// Section VIII: the iso-area AdvHet multicore provides higher performance
+// at lower energy than the barrier-aware CMOS+TFET migration multicore.
+func TestAdvHetBeatsMigrationCMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	adv, err := CPUConfigByName("AdvHet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOpts{TotalInstructions: 200_000, Seed: 1}
+	var advTime, advEnergy, cmpTime, cmpEnergy float64
+	for _, w := range []string{"barnes", "lu", "canneal", "blackscholes"} {
+		prof, err := trace.CPUWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := RunCPU(adv, prof, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := RunHeteroCMP(DefaultHeteroCMP(), prof, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		advTime += ra.TimeSec
+		advEnergy += ra.Energy.Total()
+		cmpTime += rc.TimeSec
+		cmpEnergy += rc.Energy.Total()
+		t.Logf("%-14s AdvHet %.1fµs/%.2fµJ  HeteroCMP %.1fµs/%.2fµJ",
+			w, ra.TimeSec*1e6, ra.Energy.Total()*1e6, rc.TimeSec*1e6, rc.Energy.Total()*1e6)
+	}
+	if advTime >= cmpTime {
+		t.Errorf("AdvHet (%.3g s) should outrun the migration CMP (%.3g s)", advTime, cmpTime)
+	}
+	if advEnergy >= cmpEnergy {
+		t.Errorf("AdvHet (%.3g J) should use less energy than the migration CMP (%.3g J)",
+			advEnergy, cmpEnergy)
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import "fmt"
+
+// Op classifies a dynamic instruction by the functional unit it needs.
+type Op int
+
+const (
+	// IntALU is a simple integer operation (add, logic, shift, compare).
+	IntALU Op = iota
+	// IntMul is an integer multiply.
+	IntMul
+	// IntDiv is an integer divide.
+	IntDiv
+	// FPAdd is a floating-point add/subtract.
+	FPAdd
+	// FPMul is a floating-point multiply (or fused multiply-add).
+	FPMul
+	// FPDiv is a floating-point divide or square root.
+	FPDiv
+	// Load reads memory through the data cache.
+	Load
+	// Store writes memory through the data cache.
+	Store
+	// Branch is a conditional branch resolved on an integer ALU.
+	Branch
+	numOps
+)
+
+// String returns a short mnemonic for the operation class.
+func (o Op) String() string {
+	switch o {
+	case IntALU:
+		return "alu"
+	case IntMul:
+		return "mul"
+	case IntDiv:
+		return "div"
+	case FPAdd:
+		return "fadd"
+	case FPMul:
+		return "fmul"
+	case FPDiv:
+		return "fdiv"
+	case Load:
+		return "ld"
+	case Store:
+		return "st"
+	case Branch:
+		return "br"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// IsFP reports whether the op executes on a floating-point unit.
+func (o Op) IsFP() bool { return o == FPAdd || o == FPMul || o == FPDiv }
+
+// IsMem reports whether the op accesses the data cache.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// Inst is one dynamic instruction of a synthetic trace.
+type Inst struct {
+	// Op is the instruction class.
+	Op Op
+	// Dep1 and Dep2 are register dependency distances: this instruction
+	// reads the results of the instructions Dep1 and Dep2 positions
+	// earlier in program order. Zero means no dependency through that
+	// operand. Loads use Dep1 as the address dependency; stores use
+	// Dep1 for data and Dep2 for address.
+	Dep1, Dep2 int
+	// Addr is the 64-bit byte address touched by loads and stores.
+	Addr uint64
+	// PC identifies the static instruction; branches at the same PC form
+	// one predictor site.
+	PC uint64
+	// Taken is the branch outcome (branches only).
+	Taken bool
+	// Shared marks a memory access to data shared across cores, which
+	// exercises the coherence protocol in multicore runs.
+	Shared bool
+}

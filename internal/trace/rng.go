@@ -1,0 +1,70 @@
+// Package trace synthesizes deterministic instruction streams that stand in
+// for the SPLASH-2 and PARSEC binaries of the paper's evaluation.
+//
+// The real applications are unavailable here (and no x86 front-end exists),
+// so each application is replaced by a statistical profile: instruction mix,
+// dependency-distance distribution (the ILP the out-of-order core can
+// extract), a multi-region working-set model (which determines DL1/L2/L3
+// hit rates), and branch-site behaviour (which determines predictor
+// accuracy). Streams are reproducible: the same profile, seed and core ID
+// always generate the same trace.
+package trace
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). It is used instead of math/rand so traces remain stable
+// across Go releases and so each (workload, core) pair owns an independent
+// stream.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value. Distinct seeds
+// give independent-looking streams; a zero seed is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Geometric samples a geometric distribution with the given mean (>= 1):
+// the number of trials up to and including the first success. Used for
+// dependency distances, where the mean encodes the workload's ILP.
+func (r *RNG) Geometric(mean float64) int {
+	if mean < 1 {
+		panic("trace: geometric mean must be >= 1")
+	}
+	p := 1 / mean
+	n := 1
+	for r.Float64() >= p {
+		n++
+		if n >= 1024 { // cap pathological tails
+			break
+		}
+	}
+	return n
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

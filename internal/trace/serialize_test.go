@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := CPUWorkload("barnes")
+	const n = 20000
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, MustGenerator(p, 5, 0), n); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != n {
+		t.Fatalf("Remaining = %d, want %d", r.Remaining(), n)
+	}
+	ref := MustGenerator(p, 5, 0)
+	for i := 0; i < n; i++ {
+		got, want := r.Next(), ref.Next()
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining after drain = %d", r.Remaining())
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReaderPastEndAndTruncation(t *testing.T) {
+	p, _ := CPUWorkload("lu")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, MustGenerator(p, 1, 0), 10); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record.
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Next()
+	}
+	if r.Err() == nil {
+		t.Error("truncated trace read without error")
+	}
+
+	// Reading past the end flags an error instead of panicking.
+	var full bytes.Buffer
+	if err := WriteTrace(&full, MustGenerator(p, 1, 0), 3); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewReader(&full)
+	for i := 0; i < 5; i++ {
+		r2.Next()
+	}
+	if r2.Err() == nil {
+		t.Error("read past end not flagged")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p, _ := CPUWorkload("canneal")
+	const n = 50000
+	s := Summarize(MustGenerator(p, 3, 0), n)
+	if s.Instructions != n {
+		t.Fatalf("instructions = %d", s.Instructions)
+	}
+	var sum uint64
+	for _, c := range s.OpCounts {
+		sum += c
+	}
+	if sum != n {
+		t.Errorf("op counts sum to %d", sum)
+	}
+	if s.Branches == 0 || s.MemOps == 0 || s.SharedOps == 0 {
+		t.Errorf("degenerate summary: %+v", s)
+	}
+	if tr := s.TakenRate(); tr <= 0.4 || tr >= 1 {
+		t.Errorf("taken rate %v", tr)
+	}
+	if s.WorkingSetBytes() == 0 {
+		t.Error("no working set")
+	}
+	if s.MeanDep1() <= 0 {
+		t.Error("no dependencies")
+	}
+	// Empty summary helpers don't divide by zero.
+	var empty Summary
+	if empty.TakenRate() != 0 || empty.MeanDep1() != 0 {
+		t.Error("empty summary helpers broken")
+	}
+}
+
+// Replaying a serialised trace through the summariser matches the live
+// generator's summary exactly.
+func TestSerializedSummaryMatchesLive(t *testing.T) {
+	p, _ := CPUWorkload("fft")
+	const n = 30000
+	live := Summarize(MustGenerator(p, 9, 2), n)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, MustGenerator(p, 9, 2), n); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	replay := Summarize(r, n)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if live.OpCounts != replay.OpCounts || live.Taken != replay.Taken ||
+		live.DepSum != replay.DepSum ||
+		len(live.DistinctLines) != len(replay.DistinctLines) {
+		t.Error("replayed summary diverged from live")
+	}
+}
