@@ -6,18 +6,25 @@
 //	hetcore list
 //	hetcore run -exp fig7 [-instr N] [-seed S] [-workloads a,b] [-kernels X,Y] [-csv]
 //	hetcore all [-instr N] [-seed S] [-csv]
+//	hetcore bench [-instr N] [-o BENCH_sim_rate.json]
 //
 // "run" executes one experiment; "all" executes the full evaluation in
-// paper order. Figures 7-9 and 13-14 simulate the 14 CPU workloads on
-// every configuration, so expect tens of seconds at the default
-// instruction budget.
+// paper order; "bench" measures the simulation rate of this host.
+// Figures 7-9 and 13-14 simulate the 14 CPU workloads on every
+// configuration, so expect tens of seconds at the default instruction
+// budget.
+//
+// Observability (run/all): -metrics-out writes a JSON report with a
+// manifest, a metrics snapshot and one structured record per simulation
+// run (including the top-down cycle attribution); -trace-out writes a
+// Chrome trace loadable in ui.perfetto.dev; -progress prints heartbeat
+// lines to stderr; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"hetcore/internal/harness"
 )
@@ -35,6 +42,8 @@ func main() {
 		err = run(os.Args[2:])
 	case "all":
 		err = all(os.Args[2:])
+	case "bench":
+		err = bench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -55,6 +64,7 @@ Commands:
   list                 list all experiments
   run -exp <id> [...]  run one experiment (e.g. fig7, table1)
   all [...]            run every experiment in paper order
+  bench [...]          measure this host's simulation rate
 
 Flags for run/all:
   -instr N             total instructions per CPU run (default 400000)
@@ -62,16 +72,18 @@ Flags for run/all:
   -workloads a,b,c     restrict CPU workloads
   -kernels X,Y         restrict GPU kernels
   -csv                 emit CSV instead of aligned text
-`)
-}
+  -json                emit JSON
+  -metrics-out F       write metrics + run-record report JSON
+  -trace-out F         write Chrome trace JSON (open in ui.perfetto.dev)
+  -progress            print progress heartbeats to stderr
+  -cpuprofile F        write pprof CPU profile
+  -memprofile F        write pprof heap profile
 
-func commonFlags(fs *flag.FlagSet) (*uint64, *uint64, *string, *string, *bool) {
-	instr := fs.Uint64("instr", 0, "total instructions per CPU run")
-	seed := fs.Uint64("seed", 1, "workload synthesis seed")
-	workloads := fs.String("workloads", "", "comma-separated CPU workload subset")
-	kernels := fs.String("kernels", "", "comma-separated GPU kernel subset")
-	csv := fs.Bool("csv", false, "emit CSV")
-	return instr, seed, workloads, kernels, csv
+Flags for bench:
+  -instr N             CPU instruction budget (default 2000000)
+  -seed S              workload synthesis seed
+  -o F                 output file (default BENCH_sim_rate.json)
+`)
 }
 
 // emit writes a table in the selected format.
@@ -86,20 +98,9 @@ func emit(t harness.Table, csv, js bool) error {
 	}
 }
 
-func buildOptions(instr, seed uint64, workloads, kernels string) harness.Options {
-	opts := harness.Options{Instructions: instr, Seed: seed}
-	if workloads != "" {
-		opts.Workloads = strings.Split(workloads, ",")
-	}
-	if kernels != "" {
-		opts.Kernels = strings.Split(kernels, ",")
-	}
-	return opts
-}
-
 func list() error {
 	for _, e := range harness.Experiments() {
-		fmt.Printf("%-8s %-12s %s\n", e.ID, "("+e.PaperRef+")", e.Title)
+		fmt.Printf("%-10s %-14s %s\n", e.ID, "("+e.PaperRef+")", e.Title)
 	}
 	return nil
 }
@@ -107,7 +108,9 @@ func list() error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	exp := fs.String("exp", "", "experiment ID (see 'hetcore list')")
-	instr, seed, workloads, kernels, csv := commonFlags(fs)
+	sim := harness.AddSimFlags(fs)
+	ob := harness.AddObsFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV")
 	js := fs.Bool("json", false, "emit JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,23 +122,43 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	t, err := e.Run(buildOptions(*instr, *seed, *workloads, *kernels))
+	sess, err := ob.Start(os.Args)
 	if err != nil {
 		return err
 	}
-	return emit(t, *csv, *js)
+	sess.Experiments = []string{e.ID}
+	sess.Seed = sim.Seed
+	opts := sim.Options()
+	opts.Obs = sess.Obs
+	t, err := harness.RunExperiment(e, opts)
+	if err != nil {
+		return err
+	}
+	if err := emit(t, *csv, *js); err != nil {
+		return err
+	}
+	return sess.Close()
 }
 
 func all(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	instr, seed, workloads, kernels, csv := commonFlags(fs)
+	sim := harness.AddSimFlags(fs)
+	ob := harness.AddObsFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV")
 	js := fs.Bool("json", false, "emit JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := buildOptions(*instr, *seed, *workloads, *kernels)
+	sess, err := ob.Start(os.Args)
+	if err != nil {
+		return err
+	}
+	sess.Seed = sim.Seed
+	opts := sim.Options()
+	opts.Obs = sess.Obs
 	for _, e := range harness.Experiments() {
-		t, err := e.Run(opts)
+		sess.Experiments = append(sess.Experiments, e.ID)
+		t, err := harness.RunExperiment(e, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -149,5 +172,36 @@ func all(args []string) error {
 			fmt.Println()
 		}
 	}
+	return sess.Close()
+}
+
+func bench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	instr := fs.Uint64("instr", 0, "CPU instruction budget (0 = 2000000)")
+	seed := fs.Uint64("seed", 1, "workload synthesis seed")
+	out := fs.String("o", "BENCH_sim_rate.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := harness.MeasureSimRate(*instr, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("cpu  %12.0f insts/s  (%s, %d insts in %.2fs)\n",
+		rec.CPUInstsPerSec, rec.CPUWorkload, rec.CPUInstructions, rec.CPUWallSeconds)
+	fmt.Printf("gpu  %12.0f wave-insts/s  (%s, %d insts in %.2fs)\n",
+		rec.GPUWaveInstsPerSec, rec.GPUKernel, rec.GPUWaveInsts, rec.GPUWallSeconds)
+	fmt.Printf("wrote %s\n", *out)
 	return nil
 }

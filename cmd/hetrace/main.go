@@ -10,6 +10,10 @@
 // "stats" summarises either a live workload or a trace file: instruction
 // mix, branch behaviour, dependency structure and data footprint — the
 // quantities the profiles in internal/trace are calibrated against.
+//
+// The shared observability flags (-metrics-out, -cpuprofile,
+// -memprofile) profile trace generation itself — useful when synthesising
+// large dumps.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"hetcore/internal/harness"
 	"hetcore/internal/trace"
 )
 
@@ -47,24 +52,48 @@ func usage() {
   hetrace stats -workload <name> [-n N] [-seed S] [-core C]
   hetrace stats -in <file.trc>
   hetrace dump  -workload <name> -o <file.trc> [-n N] [-seed S] [-core C]
+
+Shared observability flags: -metrics-out, -trace-out, -progress,
+-cpuprofile, -memprofile.
 `)
 }
 
-func commonFlags(fs *flag.FlagSet) (*string, *uint64, *uint64, *int) {
+func commonFlags(fs *flag.FlagSet) (*string, *uint64, *uint64, *int, *harness.ObsFlags) {
 	workload := fs.String("workload", "", "CPU workload name")
 	n := fs.Uint64("n", 200_000, "instructions")
 	seed := fs.Uint64("seed", 1, "synthesis seed")
 	core := fs.Int("core", 0, "core ID")
-	return workload, n, seed, core
+	ob := harness.AddObsFlags(fs)
+	return workload, n, seed, core, ob
+}
+
+// publishSummary mirrors a trace summary into the metrics registry so
+// -metrics-out captures what was inspected.
+func publishSummary(sess *harness.ObsSession, s trace.Summary) {
+	reg := sess.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	reg.Counter("trace.instructions").Add(s.Instructions)
+	reg.Counter("trace.mem_ops").Add(s.MemOps)
+	reg.Gauge("trace.taken_rate").Set(s.TakenRate())
+	reg.Gauge("trace.mean_dep_dist").Set(s.MeanDep1())
+	reg.Gauge("trace.working_set_bytes").Set(float64(s.WorkingSetBytes()))
 }
 
 func stats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	workload, n, seed, core := commonFlags(fs)
+	workload, n, seed, core, ob := commonFlags(fs)
 	in := fs.String("in", "", "trace file to read instead of a live workload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := ob.Start(os.Args)
+	if err != nil {
+		return err
+	}
+	sess.Seed = *seed
+	sess.Experiments = []string{"trace-stats"}
 	var s trace.Summary
 	switch {
 	case *in != "":
@@ -95,7 +124,8 @@ func stats(args []string) error {
 		return fmt.Errorf("stats needs -workload or -in")
 	}
 	printSummary(s)
-	return nil
+	publishSummary(sess, s)
+	return sess.Close()
 }
 
 func printSummary(s trace.Summary) {
@@ -114,7 +144,7 @@ func printSummary(s trace.Summary) {
 
 func dump(args []string) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
-	workload, n, seed, core := commonFlags(fs)
+	workload, n, seed, core, ob := commonFlags(fs)
 	out := fs.String("o", "", "output trace file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +152,12 @@ func dump(args []string) error {
 	if *workload == "" || *out == "" {
 		return fmt.Errorf("dump needs -workload and -o")
 	}
+	sess, err := ob.Start(os.Args)
+	if err != nil {
+		return err
+	}
+	sess.Seed = *seed
+	sess.Experiments = []string{"trace-dump"}
 	p, err := trace.CPUWorkload(*workload)
 	if err != nil {
 		return err
@@ -138,6 +174,9 @@ func dump(args []string) error {
 	if err := trace.WriteTrace(f, g, *n); err != nil {
 		return err
 	}
+	if reg := sess.Obs.Reg(); reg != nil {
+		reg.Counter("trace.instructions").Add(*n)
+	}
 	fmt.Printf("wrote %d instructions of %s to %s\n", *n, *workload, *out)
-	return nil
+	return sess.Close()
 }

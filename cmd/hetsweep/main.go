@@ -13,7 +13,9 @@
 //	hetsweep -sweep rfentries [-kernel Reduction]
 //
 // Each row reports time, energy and ED² normalised to the default AdvHet
-// configuration.
+// configuration. The shared observability flags (-metrics-out,
+// -trace-out, -progress, -cpuprofile, -memprofile) record every variant
+// run.
 package main
 
 import (
@@ -22,35 +24,62 @@ import (
 	"os"
 
 	"hetcore/internal/gpu"
+	"hetcore/internal/harness"
 	"hetcore/internal/hetsim"
+	"hetcore/internal/obs"
 	"hetcore/internal/trace"
 )
 
-func main() {
-	sweep := flag.String("sweep", "", "fastsize | steerwindow | rfentries | waves | prefetch")
-	workload := flag.String("workload", "barnes", "CPU workload for CPU sweeps")
-	kernel := flag.String("kernel", "Reduction", "GPU kernel for GPU sweeps")
-	instr := flag.Uint64("instr", 250_000, "total instructions per CPU run")
-	seed := flag.Uint64("seed", 1, "workload synthesis seed")
-	flag.Parse()
+// env carries the sweep inputs plus the observability session.
+type env struct {
+	workload string
+	kernel   string
+	instr    uint64
+	seed     uint64
+	o        *obs.Observer
+}
 
-	var err error
+func main() {
+	fs := flag.NewFlagSet("hetsweep", flag.ExitOnError)
+	sweep := fs.String("sweep", "", "fastsize | steerwindow | rfentries | waves | prefetch")
+	workload := fs.String("workload", "barnes", "CPU workload for CPU sweeps")
+	kernel := fs.String("kernel", "Reduction", "GPU kernel for GPU sweeps")
+	instr := fs.Uint64("instr", 250_000, "total instructions per CPU run")
+	seed := fs.Uint64("seed", 1, "workload synthesis seed")
+	ob := harness.AddObsFlags(fs)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	sess, err := ob.Start(os.Args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsweep:", err)
+		os.Exit(1)
+	}
+	sess.Seed = *seed
+	sess.Experiments = []string{"sweep-" + *sweep}
+	sess.Obs.SetPhase("sweep-" + *sweep)
+	e := env{workload: *workload, kernel: *kernel, instr: *instr, seed: *seed, o: sess.Obs}
+
 	switch *sweep {
 	case "fastsize":
-		err = sweepFastSize(*workload, *instr, *seed)
+		err = sweepFastSize(e)
 	case "steerwindow":
-		err = sweepSteerWindow(*workload, *instr, *seed)
+		err = sweepSteerWindow(e)
 	case "prefetch":
-		err = sweepPrefetch(*workload, *instr, *seed)
+		err = sweepPrefetch(e)
 	case "rfentries":
-		err = sweepRFEntries(*kernel, *seed)
+		err = sweepRFEntries(e)
 	case "waves":
-		err = sweepWaves(*kernel, *seed)
+		err = sweepWaves(e)
 	case "":
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	if err == nil {
+		err = sess.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetsweep:", err)
@@ -74,19 +103,20 @@ func printRows(title string, rows []row) {
 	fmt.Println("-- normalised to the first row")
 }
 
-func runCPUVariant(cfg hetsim.CPUConfig, workload string, instr, seed uint64) (row, error) {
-	prof, err := trace.CPUWorkload(workload)
+func runCPUVariant(cfg hetsim.CPUConfig, e env) (row, error) {
+	prof, err := trace.CPUWorkload(e.workload)
 	if err != nil {
 		return row{}, err
 	}
-	r, err := hetsim.RunCPU(cfg, prof, hetsim.RunOpts{TotalInstructions: instr, Seed: seed})
+	r, err := hetsim.RunCPU(cfg, prof, hetsim.RunOpts{
+		TotalInstructions: e.instr, Seed: e.seed, Obs: e.o})
 	if err != nil {
 		return row{}, err
 	}
 	return row{time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}, nil
 }
 
-func sweepFastSize(workload string, instr, seed uint64) error {
+func sweepFastSize(e env) error {
 	// The FastCache is one way's worth of the DL1, so its capacity is
 	// swept by changing the associativity: 16-way -> 2 KB fast way,
 	// 8-way -> 4 KB (default), 4-way -> 8 KB, 2-way -> 16 KB.
@@ -98,18 +128,18 @@ func sweepFastSize(workload string, instr, seed uint64) error {
 		}
 		cfg.Hier.DL1Ways = ways
 		cfg.Hier.FastSize = cfg.Hier.DL1Size / ways
-		r, err := runCPUVariant(cfg, workload, instr, seed)
+		r, err := runCPUVariant(cfg, e)
 		if err != nil {
 			return err
 		}
 		r.label = fmt.Sprintf("fast=%dKB/%dway", cfg.Hier.FastSize/1024, ways)
 		rows = append(rows, r)
 	}
-	printRows(fmt.Sprintf("AdvHet asymmetric-DL1 fast-way size (%s)", workload), rows)
+	printRows(fmt.Sprintf("AdvHet asymmetric-DL1 fast-way size (%s)", e.workload), rows)
 	return nil
 }
 
-func sweepSteerWindow(workload string, instr, seed uint64) error {
+func sweepSteerWindow(e env) error {
 	var rows []row
 	for _, w := range []int{4, 1, 2, 8} { // default (issue width) first
 		cfg, err := hetsim.CPUConfigByName("AdvHet")
@@ -117,18 +147,18 @@ func sweepSteerWindow(workload string, instr, seed uint64) error {
 			return err
 		}
 		cfg.Core.SteerWindow = w
-		r, err := runCPUVariant(cfg, workload, instr, seed)
+		r, err := runCPUVariant(cfg, e)
 		if err != nil {
 			return err
 		}
 		r.label = fmt.Sprintf("window=%d", w)
 		rows = append(rows, r)
 	}
-	printRows(fmt.Sprintf("AdvHet dual-speed ALU steering window (%s)", workload), rows)
+	printRows(fmt.Sprintf("AdvHet dual-speed ALU steering window (%s)", e.workload), rows)
 	return nil
 }
 
-func sweepPrefetch(workload string, instr, seed uint64) error {
+func sweepPrefetch(e env) error {
 	var rows []row
 	for _, on := range []bool{true, false} {
 		cfg, err := hetsim.CPUConfigByName("AdvHet")
@@ -136,30 +166,30 @@ func sweepPrefetch(workload string, instr, seed uint64) error {
 			return err
 		}
 		cfg.Hier.NextLinePrefetch = on
-		r, err := runCPUVariant(cfg, workload, instr, seed)
+		r, err := runCPUVariant(cfg, e)
 		if err != nil {
 			return err
 		}
 		r.label = fmt.Sprintf("prefetch=%v", on)
 		rows = append(rows, r)
 	}
-	printRows(fmt.Sprintf("Next-line prefetcher (%s)", workload), rows)
+	printRows(fmt.Sprintf("Next-line prefetcher (%s)", e.workload), rows)
 	return nil
 }
 
-func runGPUVariant(cfg hetsim.GPUConfig, kernel string, seed uint64) (row, error) {
-	k, err := gpu.KernelByName(kernel)
+func runGPUVariant(cfg hetsim.GPUConfig, e env) (row, error) {
+	k, err := gpu.KernelByName(e.kernel)
 	if err != nil {
 		return row{}, err
 	}
-	r, err := hetsim.RunGPU(cfg, k, seed)
+	r, err := hetsim.RunGPUObserved(cfg, k, e.seed, e.o)
 	if err != nil {
 		return row{}, err
 	}
 	return row{time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}, nil
 }
 
-func sweepRFEntries(kernel string, seed uint64) error {
+func sweepRFEntries(e env) error {
 	var rows []row
 	for _, n := range []int{6, 2, 4, 8, 12} { // default first
 		cfg, err := hetsim.GPUConfigByName("AdvHet")
@@ -167,18 +197,18 @@ func sweepRFEntries(kernel string, seed uint64) error {
 			return err
 		}
 		cfg.Dev.RFCacheEntries = n
-		r, err := runGPUVariant(cfg, kernel, seed)
+		r, err := runGPUVariant(cfg, e)
 		if err != nil {
 			return err
 		}
 		r.label = fmt.Sprintf("entries=%d", n)
 		rows = append(rows, r)
 	}
-	printRows(fmt.Sprintf("AdvHet GPU RF-cache entries per thread (%s)", kernel), rows)
+	printRows(fmt.Sprintf("AdvHet GPU RF-cache entries per thread (%s)", e.kernel), rows)
 	return nil
 }
 
-func sweepWaves(kernel string, seed uint64) error {
+func sweepWaves(e env) error {
 	var rows []row
 	for _, n := range []int{6, 2, 4, 10, 16} { // default first
 		cfg, err := hetsim.GPUConfigByName("AdvHet")
@@ -186,13 +216,13 @@ func sweepWaves(kernel string, seed uint64) error {
 			return err
 		}
 		cfg.Dev.MaxWavesPerCU = n
-		r, err := runGPUVariant(cfg, kernel, seed)
+		r, err := runGPUVariant(cfg, e)
 		if err != nil {
 			return err
 		}
 		r.label = fmt.Sprintf("waves=%d", n)
 		rows = append(rows, r)
 	}
-	printRows(fmt.Sprintf("GPU resident wavefronts per CU (%s)", kernel), rows)
+	printRows(fmt.Sprintf("GPU resident wavefronts per CU (%s)", e.kernel), rows)
 	return nil
 }

@@ -370,6 +370,35 @@ func (c Counts) Delta(prev Counts) Counts {
 	}
 }
 
+// Visit calls fn for every hierarchy counter in a fixed order, keyed by
+// dotted metric names — the bridge into the observability registry.
+func (c Counts) Visit(fn func(name string, v uint64)) {
+	level := func(prefix string, s Stats) {
+		fn(prefix+".reads", s.Reads)
+		fn(prefix+".read_misses", s.ReadMisses)
+		fn(prefix+".writes", s.Writes)
+		fn(prefix+".write_misses", s.WriteMisses)
+		fn(prefix+".writebacks", s.Writebacks)
+		fn(prefix+".invalidates", s.Invalidates)
+	}
+	level("cache.il1", c.IL1)
+	level("cache.dl1", c.DL1)
+	level("cache.dl1_fast", c.DL1Fast)
+	level("cache.dl1_slow", c.DL1Slow)
+	level("cache.l2", c.L2)
+	level("cache.l3", c.L3)
+	fn("cache.dl1_swaps", c.Swaps)
+	fn("ring.messages", c.RingMessages)
+	fn("ring.hops", c.RingHops)
+	fn("dram.accesses", c.DRAMAccesses)
+	fn("cache.prefetches", c.Prefetches)
+	fn("directory.read_misses", c.Directory.ReadMisses)
+	fn("directory.write_misses", c.Directory.WriteMisses)
+	fn("directory.invalidations", c.Directory.Invalidations)
+	fn("directory.owner_forwards", c.Directory.OwnerForwards)
+	fn("directory.writebacks_to_l3", c.Directory.WritebacksToL3)
+}
+
 // Counts returns the hierarchy-wide aggregated counters.
 func (h *Hierarchy) Counts() Counts {
 	var out Counts

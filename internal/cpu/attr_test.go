@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"testing"
+
+	"hetcore/internal/trace"
+)
+
+// attrMem is a fixed-latency memory port for attribution tests.
+type attrMem struct{ lat int }
+
+func (m attrMem) InstFetch(uint64) int { return 2 }
+func (m attrMem) Read(uint64) int      { return m.lat }
+func (m attrMem) Write(uint64) int     { return 1 }
+
+func attrSource(t *testing.T, name string) InstSource {
+	t.Helper()
+	prof, err := trace.CPUWorkload(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(prof, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// TestCycleAttributionSumsToCycles is the core invariant: every cycle
+// lands in exactly one bucket.
+func TestCycleAttributionSumsToCycles(t *testing.T) {
+	for _, workload := range []string{"barnes", "canneal", "blackscholes"} {
+		c, err := NewCore(DefaultConfig(), attrMem{lat: 20}, attrSource(t, workload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.Run(50_000)
+		if got, want := s.Attr.Total(), s.Cycles; got != want {
+			t.Errorf("%s: attribution sums to %d cycles, want %d (%+v)",
+				workload, got, want, s.Attr)
+		}
+		if s.Attr.CommitBound == 0 {
+			t.Errorf("%s: no commit-bound cycles recorded", workload)
+		}
+	}
+}
+
+// TestCycleAttributionDelta checks the warmup-exclusion path keeps the
+// invariant.
+func TestCycleAttributionDelta(t *testing.T) {
+	c, err := NewCore(DefaultConfig(), attrMem{lat: 20}, attrSource(t, "barnes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10_000)
+	snap := c.Stats()
+	s := c.Run(30_000).Delta(snap)
+	if got, want := s.Attr.Total(), s.Cycles; got != want {
+		t.Errorf("delta attribution sums to %d, want %d", got, want)
+	}
+}
+
+// TestCycleAttributionMemStall: with a huge memory latency, memory
+// stalls must dominate.
+func TestCycleAttributionMemStall(t *testing.T) {
+	c, err := NewCore(DefaultConfig(), attrMem{lat: 400}, attrSource(t, "canneal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Run(20_000)
+	if s.Attr.Total() != s.Cycles {
+		t.Fatalf("attribution sums to %d, want %d", s.Attr.Total(), s.Cycles)
+	}
+	if frac := float64(s.Attr.MemStall) / float64(s.Cycles); frac < 0.3 {
+		t.Errorf("mem-stall fraction %.2f with 400-cycle loads; want dominant (attr %+v)", frac, s.Attr)
+	}
+}
+
+// TestCycleAttrMap checks the record keys cover every bucket.
+func TestCycleAttrMap(t *testing.T) {
+	a := CycleAttr{CommitBound: 1, MemStall: 2, MispredictRecovery: 3,
+		FetchStall: 4, RenameStall: 5, IssueStall: 6}
+	m := a.Map()
+	var sum uint64
+	for _, v := range m {
+		sum += v
+	}
+	if sum != a.Total() || len(m) != 6 {
+		t.Errorf("Map() lost buckets: %v vs %+v", m, a)
+	}
+	b := a.Add(a).Delta(a)
+	if b != a {
+		t.Errorf("Add/Delta roundtrip = %+v, want %+v", b, a)
+	}
+}

@@ -50,7 +50,77 @@ type Stats struct {
 	// Occupancy accumulators (sum over cycles; divide by Cycles).
 	ROBOccAccum, IQOccAccum uint64
 
+	// Attr is the top-down cycle attribution: every cycle is binned
+	// into exactly one bucket, so Attr.Total() == Cycles.
+	Attr CycleAttr
+
 	BPred BPredStats
+}
+
+// CycleAttr bins every core cycle into one top-down bucket. A cycle is
+// classified by the highest-priority condition that holds: retirement
+// first, then the backend memory wait, then frontend causes, then
+// dispatch backpressure; everything else is an issue-side stall
+// (non-ready operands or functional-unit contention).
+type CycleAttr struct {
+	// CommitBound: at least one instruction retired this cycle.
+	CommitBound uint64 `json:"commit_bound"`
+	// MemStall: the ROB head is an issued memory operation still
+	// waiting for the hierarchy.
+	MemStall uint64 `json:"mem_stall"`
+	// MispredictRecovery: the frontend is squashed or refilling after a
+	// branch mispredict.
+	MispredictRecovery uint64 `json:"mispredict_recovery"`
+	// FetchStall: the frontend is waiting on an IL1 miss or BTB bubble.
+	FetchStall uint64 `json:"fetch_stall"`
+	// RenameStall: dispatch is blocked on ROB/IQ/LSQ/physical-register
+	// backpressure.
+	RenameStall uint64 `json:"rename_stall"`
+	// IssueStall: work is in flight but nothing retired — operands not
+	// ready or functional units busy.
+	IssueStall uint64 `json:"issue_stall"`
+}
+
+// Total returns the number of attributed cycles.
+func (a CycleAttr) Total() uint64 {
+	return a.CommitBound + a.MemStall + a.MispredictRecovery +
+		a.FetchStall + a.RenameStall + a.IssueStall
+}
+
+// Delta returns a minus an earlier snapshot, field-wise.
+func (a CycleAttr) Delta(prev CycleAttr) CycleAttr {
+	return CycleAttr{
+		CommitBound:        a.CommitBound - prev.CommitBound,
+		MemStall:           a.MemStall - prev.MemStall,
+		MispredictRecovery: a.MispredictRecovery - prev.MispredictRecovery,
+		FetchStall:         a.FetchStall - prev.FetchStall,
+		RenameStall:        a.RenameStall - prev.RenameStall,
+		IssueStall:         a.IssueStall - prev.IssueStall,
+	}
+}
+
+// Add accumulates another attribution (summing cores).
+func (a CycleAttr) Add(o CycleAttr) CycleAttr {
+	return CycleAttr{
+		CommitBound:        a.CommitBound + o.CommitBound,
+		MemStall:           a.MemStall + o.MemStall,
+		MispredictRecovery: a.MispredictRecovery + o.MispredictRecovery,
+		FetchStall:         a.FetchStall + o.FetchStall,
+		RenameStall:        a.RenameStall + o.RenameStall,
+		IssueStall:         a.IssueStall + o.IssueStall,
+	}
+}
+
+// Map returns the buckets keyed by their run-record names.
+func (a CycleAttr) Map() map[string]uint64 {
+	return map[string]uint64{
+		"commit_bound":        a.CommitBound,
+		"mem_stall":           a.MemStall,
+		"mispredict_recovery": a.MispredictRecovery,
+		"fetch_stall":         a.FetchStall,
+		"rename_stall":        a.RenameStall,
+		"issue_stall":         a.IssueStall,
+	}
 }
 
 // Delta returns s minus an earlier snapshot, field-wise. Used to exclude
@@ -70,6 +140,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		StallFetch:  s.StallFetch - prev.StallFetch,
 		ROBOccAccum: s.ROBOccAccum - prev.ROBOccAccum,
 		IQOccAccum:  s.IQOccAccum - prev.IQOccAccum,
+		Attr:        s.Attr.Delta(prev.Attr),
 		BPred: BPredStats{
 			Lookups:     s.BPred.Lookups - prev.BPred.Lookups,
 			Mispredicts: s.BPred.Mispredicts - prev.BPred.Mispredicts,
@@ -164,9 +235,14 @@ type Core struct {
 
 	// Frontend state.
 	fetchResume     int64
+	resumeMispred   bool // fetchResume was set by a mispredict redirect
 	lastLine        uint64
 	pendingRedirect bool
 	redirectIdx     int // ROB index of the unresolved mispredicted branch
+
+	// renameBlocked records whether the last dispatch attempt hit
+	// backend backpressure (ROB/IQ/LSQ/registers) — cycle attribution.
+	renameBlocked bool
 
 	// In-flight register pressure (physical minus architectural regs).
 	intInFlight, fpInFlight   int
@@ -258,9 +334,37 @@ func (c *Core) step() {
 	issued := c.issue()
 	dispatched := c.dispatch()
 
+	if committed > 0 {
+		c.stats.Attr.CommitBound++
+	} else {
+		*c.stallBucket() += 1
+	}
+
 	if committed == 0 && issued == 0 && dispatched == 0 {
 		c.fastForward()
 	}
+}
+
+// stallBucket classifies a cycle with no retirement. The checks read
+// only state that is stable across a fast-forward skip, so the same
+// classification applies to every skipped cycle.
+func (c *Core) stallBucket() *uint64 {
+	a := &c.stats.Attr
+	if c.robCount > 0 {
+		if e := &c.rob[c.robHead]; e.issued && e.doneCycle > c.cycle && e.op.IsMem() {
+			return &a.MemStall
+		}
+	}
+	if c.pendingRedirect || (c.cycle < c.fetchResume && c.resumeMispred) {
+		return &a.MispredictRecovery
+	}
+	if c.cycle < c.fetchResume {
+		return &a.FetchStall
+	}
+	if c.renameBlocked {
+		return &a.RenameStall
+	}
+	return &a.IssueStall
 }
 
 // fastForward jumps the clock to the next cycle where progress is
@@ -286,6 +390,11 @@ func (c *Core) fastForward() {
 	c.stats.Cycles += skip
 	c.stats.ROBOccAccum += skip * uint64(c.robCount)
 	c.stats.IQOccAccum += skip * uint64(len(c.iq))
+	if skip > 0 {
+		// The machine state is frozen across the skip, so one
+		// classification covers every skipped cycle.
+		*c.stallBucket() += skip
+	}
 }
 
 // commit retires completed instructions in order.
@@ -440,6 +549,7 @@ func (c *Core) issue() int {
 			r := e.doneCycle + int64(c.cfg.MispredictPenalty)
 			if r > c.fetchResume {
 				c.fetchResume = r
+				c.resumeMispred = true
 			}
 			if c.pendingRedirect && c.redirectIdx == idx {
 				c.pendingRedirect = false
@@ -465,6 +575,7 @@ func freeUnit(free []int64, cycle int64) int {
 // dispatch renames and inserts up to FetchWidth instructions into the
 // window.
 func (c *Core) dispatch() int {
+	c.renameBlocked = false
 	if c.pendingRedirect {
 		c.stats.StallFetch++
 		return 0
@@ -477,25 +588,30 @@ func (c *Core) dispatch() int {
 	for n < c.cfg.FetchWidth {
 		if c.robCount >= c.cfg.ROBSize {
 			c.stats.StallROB++
+			c.renameBlocked = true
 			break
 		}
 		if len(c.iq) >= c.cfg.IQSize {
 			c.stats.StallIQ++
+			c.renameBlocked = true
 			break
 		}
 		c.fillLookahead()
 		in := c.la[0]
 		if in.Op.IsMem() && c.lsq >= c.cfg.LSQSize {
 			c.stats.StallLSQ++
+			c.renameBlocked = true
 			break
 		}
 		if in.Op.IsFP() && c.fpInFlight >= c.fpRegBudget {
 			c.stats.StallRegs++
+			c.renameBlocked = true
 			break
 		}
 		if !in.Op.IsFP() && in.Op != trace.Store && in.Op != trace.Branch &&
 			c.intInFlight >= c.intRegBudget {
 			c.stats.StallRegs++
+			c.renameBlocked = true
 			break
 		}
 
@@ -508,6 +624,7 @@ func (c *Core) dispatch() int {
 			lat := c.mem.InstFetch(in.PC)
 			if extra := int64(lat - 2); extra > 0 {
 				c.fetchResume = c.cycle + extra
+				c.resumeMispred = false
 			}
 		}
 
@@ -543,6 +660,7 @@ func (c *Core) dispatch() int {
 			} else if in.Taken && !pred.BTBHit {
 				if r := c.cycle + int64(c.cfg.BTBMissPenalty); r > c.fetchResume {
 					c.fetchResume = r
+					c.resumeMispred = false
 				}
 			}
 		case trace.Load, trace.Store:

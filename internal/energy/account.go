@@ -88,6 +88,17 @@ func (b Breakdown) Dynamic() float64 { return b.CoreDyn + b.L2Dyn + b.L3Dyn }
 // Leakage returns the leakage portion.
 func (b Breakdown) Leakage() float64 { return b.CoreLeak + b.L2Leak + b.L3Leak }
 
+// Map returns the components keyed by their run-record names (DRAM
+// included even though it is outside Total, matching the paper's scope).
+func (b Breakdown) Map() map[string]float64 {
+	return map[string]float64{
+		"core_dyn": b.CoreDyn, "core_leak": b.CoreLeak,
+		"l2_dyn": b.L2Dyn, "l2_leak": b.L2Leak,
+		"l3_dyn": b.L3Dyn, "l3_leak": b.L3Leak,
+		"dram": b.DRAM,
+	}
+}
+
 // Add accumulates another breakdown (used when summing cores or phases).
 func (b Breakdown) Add(o Breakdown) Breakdown {
 	return Breakdown{
@@ -200,6 +211,11 @@ type GPUBreakdown struct {
 
 // Total returns dynamic+leakage joules.
 func (b GPUBreakdown) Total() float64 { return b.Dyn + b.Leak }
+
+// Map returns the components keyed by their run-record names.
+func (b GPUBreakdown) Map() map[string]float64 {
+	return map[string]float64{"dyn": b.Dyn, "leak": b.Leak, "dram": b.DRAM}
+}
 
 // ComputeGPU turns a GPU activity vector into joules.
 func ComputeGPU(lib GPULibrary, act GPUActivity, asn GPUAssign) (GPUBreakdown, error) {

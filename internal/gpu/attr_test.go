@@ -1,0 +1,73 @@
+package gpu
+
+import "testing"
+
+// TestGPUCycleAttributionSums checks every device cycle is binned.
+func TestGPUCycleAttributionSums(t *testing.T) {
+	for _, name := range []string{"MatrixMultiplication", "Reduction", "Histogram"} {
+		k, err := KernelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDevice(DefaultConfig(), k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := d.Run()
+		if got, want := s.Attr.Total(), s.Cycles; got != want {
+			t.Errorf("%s: attribution sums to %d cycles, want %d (%+v)",
+				name, got, want, s.Attr)
+		}
+		if s.Attr.SIMDBusy == 0 {
+			t.Errorf("%s: no SIMD-busy cycles", name)
+		}
+	}
+}
+
+// TestGPUAttrRFConflictOnSlowRF: a slow TFET register file without the
+// RF cache must show register-file port conflicts; the CMOS baseline
+// must not.
+func TestGPUAttrRFConflictOnSlowRF(t *testing.T) {
+	k, err := KernelByName("MatrixMultiplication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := DefaultConfig()
+	slow.RFLat = 2
+	slow.RFCache = false
+	d, err := NewDevice(slow, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Run()
+	if s.Attr.Total() != s.Cycles {
+		t.Fatalf("attribution sums to %d, want %d", s.Attr.Total(), s.Cycles)
+	}
+	if s.Attr.RFConflict == 0 {
+		t.Errorf("slow RF shows no RF conflicts: %+v", s.Attr)
+	}
+
+	fast, err := NewDevice(DefaultConfig(), k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fast.Run()
+	frSlow := float64(s.Attr.RFConflict) / float64(s.Cycles)
+	frFast := float64(fs.Attr.RFConflict) / float64(fs.Cycles)
+	if frFast >= frSlow {
+		t.Errorf("RF-conflict fraction: CMOS %.3f >= TFET-no-cache %.3f", frFast, frSlow)
+	}
+}
+
+// TestGPUAttrMap checks the record keys cover every bucket.
+func TestGPUAttrMap(t *testing.T) {
+	a := CycleAttr{SIMDBusy: 1, MemWait: 2, RFConflict: 3, SchedIdle: 4}
+	m := a.Map()
+	var sum uint64
+	for _, v := range m {
+		sum += v
+	}
+	if sum != a.Total() || len(m) != 4 {
+		t.Errorf("Map() lost buckets: %v vs %+v", m, a)
+	}
+}

@@ -129,6 +129,40 @@ type Stats struct {
 	VL1Reads, VL1Misses uint64
 	L2Reads, L2Misses   uint64
 	DRAMAccesses        uint64
+
+	// Attr is the top-down cycle attribution: every device cycle is
+	// binned into exactly one bucket, so Attr.Total() == Cycles.
+	Attr CycleAttr
+}
+
+// CycleAttr bins every device cycle into one top-down bucket.
+type CycleAttr struct {
+	// SIMDBusy: at least one wavefront issued somewhere on the device.
+	SIMDBusy uint64 `json:"simd_busy"`
+	// MemWait: every CU is blocked behind an outstanding memory result
+	// or the memory pipeline's divergence occupancy.
+	MemWait uint64 `json:"mem_wait"`
+	// RFConflict: blocked on multi-cycle register-file port occupancy
+	// (the slow-TFET-RF effect the RF cache recovers).
+	RFConflict uint64 `json:"rf_bank_conflict"`
+	// SchedIdle: no wavefront ready — execute-latency dependencies,
+	// pipeline-beat occupancy, or end-of-kernel drain.
+	SchedIdle uint64 `json:"scheduler_idle"`
+}
+
+// Total returns the number of attributed cycles.
+func (a CycleAttr) Total() uint64 {
+	return a.SIMDBusy + a.MemWait + a.RFConflict + a.SchedIdle
+}
+
+// Map returns the buckets keyed by their run-record names.
+func (a CycleAttr) Map() map[string]uint64 {
+	return map[string]uint64{
+		"simd_busy":        a.SIMDBusy,
+		"mem_wait":         a.MemWait,
+		"rf_bank_conflict": a.RFConflict,
+		"scheduler_idle":   a.SchedIdle,
+	}
 }
 
 // TimeNS returns execution time in nanoseconds at the given clock.

@@ -35,6 +35,12 @@ type wave struct {
 	// (gates dependent instructions).
 	lastDone int64
 	rng      *trace.RNG
+	// lastWasMem and rfDelay describe the most recently issued
+	// instruction, for cycle attribution: whether it was a memory op,
+	// and whether its register-file accesses occupied ports beyond one
+	// cycle.
+	lastWasMem bool
+	rfDelay    bool
 	// recent is the register-file cache state: the register ids of the
 	// most recent distinct writes (6 entries per thread; the wavefront's
 	// threads behave uniformly in this model).
@@ -189,31 +195,42 @@ func (d *Device) Run() Stats {
 				}
 			}
 		}
-		if !progressed {
+		if progressed {
+			d.stats.Attr.SIMDBusy++
+		} else {
 			d.fastForward()
 		}
 	}
 	return d.Stats()
 }
 
-// fastForward jumps to the next cycle where any wavefront becomes ready.
+// fastForward jumps to the next cycle where any wavefront becomes ready,
+// attributing the current and skipped cycles to the stall bucket of the
+// wave that unblocks first.
 func (d *Device) fastForward() {
 	next := int64(1 << 62)
+	var blocking *wave
+	blockedByDep := false
 	for _, cu := range d.cus {
 		for _, wv := range cu.resident {
 			if wv.remaining == 0 && wv.readyAt <= d.cycle {
 				continue
 			}
 			cand := wv.readyAt
+			dep := false
 			if wv.pending != nil && wv.pending.depPrev && wv.lastDone > cand {
 				cand = wv.lastDone
+				dep = true
 			}
 			if cand > d.cycle && cand < next {
 				next = cand
+				blocking = wv
+				blockedByDep = dep
 			}
 		}
 	}
 	if next == 1<<62 {
+		d.stats.Attr.SchedIdle++ // end-of-kernel drain/retire cycle
 		// All resident waves are done but not yet retired: retire on
 		// the next cycle.
 		for _, cu := range d.cus {
@@ -233,7 +250,17 @@ func (d *Device) fastForward() {
 		}
 		return
 	}
+	// Current cycle plus every skipped one share the same wait cause.
+	n := uint64(next-1-d.cycle) + 1
 	d.cycle = next - 1
+	switch {
+	case blocking.lastWasMem:
+		d.stats.Attr.MemWait += n
+	case !blockedByDep && blocking.rfDelay:
+		d.stats.Attr.RFConflict += n
+	default:
+		d.stats.Attr.SchedIdle += n
+	}
 }
 
 // decode materialises the wavefront's next instruction if needed.
@@ -322,6 +349,8 @@ func (d *Device) issue(cu *computeUnit, wv *wave, beats int64) {
 
 	done := start + rfLat + execLat
 	wv.lastDone = done
+	wv.lastWasMem = class == classMem
+	wv.rfDelay = rfLat > 1 || wlat > 1
 	occupancy := beats
 	// A multi-cycle register file read occupies the operand-collector
 	// ports and delays the wave's next issue: deeper pipelining restores

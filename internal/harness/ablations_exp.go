@@ -45,10 +45,10 @@ func Ablations(opts Options) (Table, error) {
 		if err != nil {
 			return a, b, err
 		}
-		if a, err = hetsim.RunGPU(ca, k, opts.Seed); err != nil {
+		if a, err = hetsim.RunGPUObserved(ca, k, opts.Seed, opts.Obs); err != nil {
 			return a, b, err
 		}
-		b, err = hetsim.RunGPU(cb, k, opts.Seed)
+		b, err = hetsim.RunGPUObserved(cb, k, opts.Seed, opts.Obs)
 		return a, b, err
 	}
 

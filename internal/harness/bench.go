@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"hetcore/internal/gpu"
+	"hetcore/internal/hetsim"
+	"hetcore/internal/obs"
+	"hetcore/internal/trace"
+)
+
+// BenchRecord is the simulation-rate benchmark payload
+// (BENCH_sim_rate.json): how many instructions per wall second the CPU
+// and GPU models simulate on this host.
+type BenchRecord struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+
+	CPUWorkload     string  `json:"cpu_workload"`
+	CPUInstructions uint64  `json:"cpu_instructions"`
+	CPUWallSeconds  float64 `json:"cpu_wall_seconds"`
+	CPUInstsPerSec  float64 `json:"cpu_insts_per_sec"`
+
+	GPUKernel          string  `json:"gpu_kernel"`
+	GPUWaveInsts       uint64  `json:"gpu_wave_insts"`
+	GPUWallSeconds     float64 `json:"gpu_wall_seconds"`
+	GPUWaveInstsPerSec float64 `json:"gpu_wave_insts_per_sec"`
+}
+
+// MeasureSimRate times one single-core CPU run (BaseCMOS, barnes) and one
+// GPU kernel (BaseCMOS, MatrixMultiplication) and reports simulated
+// instructions per wall second. instr is the CPU instruction budget
+// (0 = 2M, large enough to amortise setup).
+func MeasureSimRate(instr, seed uint64) (BenchRecord, error) {
+	if instr == 0 {
+		instr = 2_000_000
+	}
+	rec := BenchRecord{Schema: obs.SchemaVersion, GoVersion: runtime.Version()}
+
+	cfg, err := hetsim.CPUConfigByName("BaseCMOS")
+	if err != nil {
+		return rec, err
+	}
+	prof, err := trace.CPUWorkload("barnes")
+	if err != nil {
+		return rec, err
+	}
+	opts := hetsim.RunOpts{TotalInstructions: instr, Seed: seed}
+	start := time.Now()
+	res, err := hetsim.RunCPU(cfg, prof, opts)
+	if err != nil {
+		return rec, err
+	}
+	wall := time.Since(start).Seconds()
+	// Warmup (TotalInstructions/8 per core by default) is simulated work
+	// too; count it in the rate.
+	simulated := res.Instructions + uint64(cfg.Cores)*(instr/8)
+	rec.CPUWorkload = prof.Name
+	rec.CPUInstructions = simulated
+	rec.CPUWallSeconds = wall
+	if wall > 0 {
+		rec.CPUInstsPerSec = float64(simulated) / wall
+	}
+
+	gcfg, err := hetsim.GPUConfigByName("BaseCMOS")
+	if err != nil {
+		return rec, err
+	}
+	kern, err := gpu.KernelByName("MatrixMultiplication")
+	if err != nil {
+		return rec, err
+	}
+	start = time.Now()
+	gres, err := hetsim.RunGPU(gcfg, kern, seed)
+	if err != nil {
+		return rec, err
+	}
+	gwall := time.Since(start).Seconds()
+	rec.GPUKernel = kern.Name
+	rec.GPUWaveInsts = gres.WaveInsts
+	rec.GPUWallSeconds = gwall
+	if gwall > 0 {
+		rec.GPUWaveInstsPerSec = float64(gres.WaveInsts) / gwall
+	}
+	return rec, nil
+}
+
+// WriteJSON writes the benchmark record as indented JSON.
+func (b BenchRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("harness: encoding bench record: %w", err)
+	}
+	return nil
+}

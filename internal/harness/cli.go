@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"hetcore/internal/obs"
+)
+
+// SimFlags are the simulation-budget flags every CLI shares.
+type SimFlags struct {
+	Instructions uint64
+	Seed         uint64
+	Workloads    string
+	Kernels      string
+}
+
+// AddSimFlags registers the shared simulation flags on fs.
+func AddSimFlags(fs *flag.FlagSet) *SimFlags {
+	var s SimFlags
+	fs.Uint64Var(&s.Instructions, "instr", 0, "total instructions per CPU run (0 = default)")
+	fs.Uint64Var(&s.Seed, "seed", 1, "workload synthesis seed")
+	fs.StringVar(&s.Workloads, "workloads", "", "comma-separated CPU workload subset")
+	fs.StringVar(&s.Kernels, "kernels", "", "comma-separated GPU kernel subset")
+	return &s
+}
+
+// Options converts the parsed flags into experiment options.
+func (s *SimFlags) Options() Options {
+	opts := Options{Instructions: s.Instructions, Seed: s.Seed}
+	if s.Workloads != "" {
+		opts.Workloads = strings.Split(s.Workloads, ",")
+	}
+	if s.Kernels != "" {
+		opts.Kernels = strings.Split(s.Kernels, ",")
+	}
+	return opts
+}
+
+// ObsFlags are the observability flags every CLI shares.
+type ObsFlags struct {
+	MetricsOut string
+	TraceOut   string
+	Progress   bool
+	CPUProfile string
+	MemProfile string
+}
+
+// AddObsFlags registers the shared observability flags on fs.
+func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
+	var f ObsFlags
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the metrics/run-record report JSON here")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace (ui.perfetto.dev) JSON here")
+	fs.BoolVar(&f.Progress, "progress", false, "print progress heartbeats to stderr")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile here")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile here")
+	return &f
+}
+
+func (f *ObsFlags) enabled() bool {
+	return f.MetricsOut != "" || f.TraceOut != "" || f.Progress
+}
+
+// ObsSession is one CLI invocation's observability state: the Observer to
+// thread into Options/RunOpts and the output files to flush on Close.
+// The caller may fill Experiments and Seed for the report manifest.
+type ObsSession struct {
+	Obs *obs.Observer
+
+	// Manifest fields, set by the caller before Close.
+	Experiments []string
+	Seed        uint64
+
+	flags   ObsFlags
+	command []string
+	start   time.Time
+	cpuProf *os.File
+}
+
+// Start opens the observability session described by the flags: it builds
+// the Observer (nil when no obs flag is set — the simulators then skip
+// all instrumentation) and starts CPU profiling if requested. command is
+// recorded in the report manifest.
+func (f *ObsFlags) Start(command []string) (*ObsSession, error) {
+	s := &ObsSession{flags: *f, command: command, start: time.Now()}
+	if f.CPUProfile != "" {
+		fh, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fh.Close()
+			return nil, err
+		}
+		s.cpuProf = fh
+	}
+	if f.enabled() {
+		o := &obs.Observer{
+			Metrics: obs.NewRegistry(),
+			Records: &obs.RecordSink{},
+		}
+		if f.TraceOut != "" {
+			o.Trace = obs.NewTraceWriter()
+			o.Trace.ProcessName(0, "harness")
+		}
+		if f.Progress {
+			o.Progress = obs.NewProgress(os.Stderr, 0)
+		}
+		s.Obs = o
+	}
+	return s, nil
+}
+
+// Close stops profiling and writes the trace and metrics files.
+func (s *ObsSession) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.Obs.Prog().Finish()
+	if s.cpuProf != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuProf.Close(); err != nil {
+			return err
+		}
+	}
+	if s.flags.MemProfile != "" {
+		fh, err := os.Create(s.flags.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+	}
+	if s.flags.TraceOut != "" {
+		if err := writeFileWith(s.flags.TraceOut, s.Obs.Tracer().WriteJSON); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if s.flags.MetricsOut != "" {
+		if err := writeFileWith(s.flags.MetricsOut, s.Report().WriteJSON); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// Report assembles the manifest, metrics snapshot and run records.
+func (s *ObsSession) Report() obs.Report {
+	runs := s.Obs.Sink().Records()
+	wall := time.Since(s.start).Seconds()
+	var insts uint64
+	for _, r := range runs {
+		insts += r.Instructions
+	}
+	m := obs.Manifest{
+		Schema:      obs.SchemaVersion,
+		Command:     s.command,
+		GoVersion:   runtime.Version(),
+		Experiments: s.Experiments,
+		Seed:        s.Seed,
+		Runs:        len(runs),
+		WallSeconds: wall,
+	}
+	if wall > 0 {
+		m.SimRateKIPS = float64(insts) / wall / 1e3
+	}
+	var snap obs.Snapshot
+	if reg := s.Obs.Reg(); reg != nil {
+		snap = reg.Snapshot()
+	}
+	return obs.Report{Manifest: m, Metrics: snap, Runs: runs}
+}
+
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

@@ -6,6 +6,7 @@ import (
 	"hetcore/internal/device"
 	"hetcore/internal/energy"
 	"hetcore/internal/hetsim"
+	"hetcore/internal/obs"
 	"hetcore/internal/trace"
 )
 
@@ -20,10 +21,13 @@ type Options struct {
 	Workloads []string
 	// Kernels restricts the GPU benchmark list (empty = all 19).
 	Kernels []string
+	// Obs, when non-nil, collects metrics, trace events, run records and
+	// progress from every simulation an experiment performs.
+	Obs *obs.Observer
 }
 
 func (o Options) runOpts() hetsim.RunOpts {
-	return hetsim.RunOpts{TotalInstructions: o.Instructions, Seed: o.Seed}
+	return hetsim.RunOpts{TotalInstructions: o.Instructions, Seed: o.Seed, Obs: o.Obs}
 }
 
 func (o Options) cpuWorkloads() ([]trace.Profile, error) {

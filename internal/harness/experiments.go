@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hetcore/internal/hetsim"
 )
@@ -38,7 +39,33 @@ func Experiments() []Experiment {
 		{ID: "fig14", Title: "DVFS and process variation", PaperRef: "Figure 14", Run: Fig14},
 		{ID: "migration", Title: "Iso-area CMOS+TFET migration CMP vs AdvHet", PaperRef: "Section VIII", Run: Migration},
 		{ID: "ablations", Title: "Per-mechanism design ablations", PaperRef: "DESIGN.md", Run: Ablations},
+		{ID: "cycles", Title: "Top-down CPU cycle attribution", PaperRef: "DESIGN.md", Run: CPUCycles},
+		{ID: "gpucycles", Title: "Top-down GPU cycle attribution", PaperRef: "DESIGN.md", Run: GPUCycles},
 	}
+}
+
+// RunExperiment runs e through the observability layer: the phase label
+// for run records, a wall-clock slice on the harness trace timeline
+// (pid 0) and harness-level counters. With opts.Obs nil it is exactly
+// e.Run(opts).
+func RunExperiment(e Experiment, opts Options) (Table, error) {
+	o := opts.Obs
+	o.SetPhase(e.ID)
+	start := time.Now()
+	t, err := e.Run(opts)
+	if tr := o.Tracer(); tr.Enabled() {
+		tr.Complete(0, 0, e.ID, "harness",
+			float64(start.UnixNano())/1e3,
+			float64(time.Since(start).Nanoseconds())/1e3,
+			map[string]any{"title": e.Title, "paper_ref": e.PaperRef})
+	}
+	if reg := o.Reg(); reg != nil {
+		reg.Counter("harness.experiments_total").Inc()
+		if err != nil {
+			reg.Counter("harness.experiments_failed").Inc()
+		}
+	}
+	return t, err
 }
 
 // ByID returns the experiment with the given ID.

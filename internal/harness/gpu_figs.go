@@ -41,7 +41,7 @@ func gpuSuite(opts Options) (map[string]map[string]hetsim.GPUResult, []string, e
 		results[cn] = make(map[string]hetsim.GPUResult, len(kernels))
 		for i, k := range kernels {
 			names[i] = k.Name
-			res, err := hetsim.RunGPU(cfg, k, opts.Seed)
+			res, err := hetsim.RunGPUObserved(cfg, k, opts.Seed, opts.Obs)
 			if err != nil {
 				return nil, nil, fmt.Errorf("harness: %s/%s: %w", cn, k.Name, err)
 			}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTable is a fixed table exercising alignment, long labels,
+// negative and sub-unity values, and notes.
+func goldenTable() Table {
+	return Table{
+		ID:      "fig0",
+		Title:   "Golden rendering fixture",
+		Columns: []string{"BaseCMOS", "AdvHet", "AdvHet-2X"},
+		Rows: []Row{
+			{Label: "barnes", Values: []float64{1, 1.042, 0.517}},
+			{Label: "a-very-long-workload-name", Values: []float64{1, 0.9876, 2.5}},
+			{Label: "Average", Values: []float64{1, 1.015, 1.509}},
+		},
+		Notes: "Normalised to BaseCMOS.",
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/harness -run Golden -update' to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTable().Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table_format.golden", buf.Bytes())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTable().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table_csv.golden", buf.Bytes())
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTable().JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table_json.golden", buf.Bytes())
+}

@@ -2,10 +2,12 @@ package hetsim
 
 import (
 	"fmt"
+	"time"
 
 	"hetcore/internal/cache"
 	"hetcore/internal/cpu"
 	"hetcore/internal/energy"
+	"hetcore/internal/obs"
 	"hetcore/internal/trace"
 )
 
@@ -28,6 +30,9 @@ type RunOpts struct {
 	// (DVFS operating points, process-variation guardbands) applied on
 	// top of the technology scaling. Zero values mean identity.
 	CMOSAdjust, TFETAdjust energy.Scale
+	// Obs receives metrics, trace events, progress and the run record;
+	// nil disables all observability at the cost of one pointer check.
+	Obs *obs.Observer
 }
 
 // withDefaults fills unset options.
@@ -66,6 +71,11 @@ type CPUResult struct {
 	MispredictRate float64
 	DL1HitRate     float64
 	FastHitRate    float64 // asymmetric DL1 CMOS-way hit rate (0 if plain)
+
+	// CoreCycles sums measured cycles over all cores; Attr bins each of
+	// them into one top-down bucket (Attr.Total() == CoreCycles).
+	CoreCycles uint64
+	Attr       cpu.CycleAttr
 }
 
 // ED returns the energy-delay product (J·s).
@@ -93,6 +103,7 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 	if err := prof.Validate(); err != nil {
 		return CPUResult{}, err
 	}
+	wallStart := time.Now()
 	hier, err := cache.NewHierarchy(cfg.Hier)
 	if err != nil {
 		return CPUResult{}, fmt.Errorf("hetsim %s: %w", cfg.Name, err)
@@ -116,6 +127,22 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 	// The serial fraction runs on core 0 alone.
 	quota[0] += uint64(float64(opts.TotalInstructions) * prof.SerialFrac)
 
+	prog := opts.Obs.Prog()
+	tr := opts.Obs.Tracer()
+	var pid int64
+	if tr.Enabled() {
+		pid = tr.NextPID()
+		tr.ProcessName(pid, fmt.Sprintf("cpu %s / %s", cfg.Name, prof.Name))
+		for i := 0; i < n; i++ {
+			tr.ThreadName(pid, int64(i), fmt.Sprintf("core %d", i))
+		}
+	}
+	var budget uint64
+	for _, q := range quota {
+		budget += q + opts.WarmupInstructions
+	}
+	prog.AddTarget(budget)
+
 	runInterleaved := func(remaining []uint64) {
 		for {
 			active := false
@@ -130,9 +157,24 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 				}
 				cores[i].Run(chunk)
 				remaining[i] -= chunk
+				prog.Add(chunk)
 			}
 			if !active {
 				break
+			}
+			if tr.Enabled() {
+				var cyc, com uint64
+				for _, c := range cores {
+					s := c.Stats()
+					if s.Cycles > cyc {
+						cyc = s.Cycles
+					}
+					com += s.Committed
+				}
+				if cyc > 0 {
+					tr.CounterSample(pid, "ipc", obs.SimTS(cyc, cfg.FreqGHz()),
+						map[string]float64{"per_core": float64(com) / float64(cyc) / float64(n)})
+				}
 			}
 		}
 	}
@@ -155,13 +197,26 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 	runInterleaved(remaining)
 
 	// Aggregate the measured region.
-	var maxCycles, insts uint64
+	var maxCycles, coreCycles, insts uint64
+	var attr cpu.CycleAttr
 	var act energy.CPUActivity
 	var lookups, mispred uint64
 	for i, c := range cores {
 		s := c.Stats().Delta(coreSnap[i])
 		if s.Cycles > maxCycles {
 			maxCycles = s.Cycles
+		}
+		coreCycles += s.Cycles
+		attr = attr.Add(s.Attr)
+		if tr.Enabled() {
+			f := cfg.FreqGHz()
+			tr.Complete(pid, int64(i), "warmup", "sim",
+				0, obs.SimTS(coreSnap[i].Cycles, f),
+				map[string]any{"insts": coreSnap[i].Committed})
+			tr.Complete(pid, int64(i), "measure", "sim",
+				obs.SimTS(coreSnap[i].Cycles, f), obs.SimTS(s.Cycles, f),
+				map[string]any{"insts": s.Committed,
+					"ipc": float64(s.Committed) / float64(max(s.Cycles, 1))})
 		}
 		insts += s.Committed
 		act.Instructions += s.Committed
@@ -210,6 +265,7 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 		Cycles: maxCycles, TimeSec: timeSec, Energy: bd,
 		Instructions: insts,
 		DL1HitRate:   counts.DL1.HitRate(),
+		CoreCycles:   coreCycles, Attr: attr,
 	}
 	if cfg.Hier.AsymDL1 {
 		fa, sl := counts.DL1Fast, counts.DL1Slow
@@ -227,6 +283,37 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 	}
 	if lookups > 0 {
 		res.MispredictRate = float64(mispred) / float64(lookups)
+	}
+	if o := opts.Obs; o.Enabled() {
+		if reg := o.Reg(); reg != nil {
+			counts.Visit(func(name string, v uint64) {
+				reg.Counter(name).Add(v)
+			})
+		}
+		if tr.Enabled() && timeSec > 0 {
+			tr.CounterSample(pid, "avg_power_w",
+				obs.SimTS(maxCycles, cfg.FreqGHz()),
+				map[string]float64{"total": bd.Total() / timeSec})
+		}
+		wall := time.Since(wallStart).Seconds()
+		rec := obs.RunRecord{
+			Kind: "cpu", Config: cfg.Name, Workload: prof.Name,
+			Seed:         opts.Seed,
+			Instructions: insts, Cycles: maxCycles, CoreCycles: coreCycles,
+			TimeSec: timeSec, IPC: res.IPC,
+			CycleAttribution: attr.Map(),
+			EnergyJ:          bd.Map(),
+			Extra: map[string]float64{
+				"dl1_hit_rate":    res.DL1HitRate,
+				"fast_hit_rate":   res.FastHitRate,
+				"mispredict_rate": res.MispredictRate,
+			},
+			WallSeconds: wall,
+		}
+		if wall > 0 {
+			rec.SimRateKIPS = float64(insts+uint64(n)*opts.WarmupInstructions) / wall / 1e3
+		}
+		o.AddRecord(rec)
 	}
 	return res, nil
 }

@@ -2,9 +2,11 @@ package hetsim
 
 import (
 	"fmt"
+	"time"
 
 	"hetcore/internal/energy"
 	"hetcore/internal/gpu"
+	"hetcore/internal/obs"
 )
 
 // GPUResult is one (configuration, kernel) measurement.
@@ -19,6 +21,10 @@ type GPUResult struct {
 
 	WaveInsts      uint64
 	RFCacheHitRate float64
+
+	// Attr bins every device cycle into one top-down bucket
+	// (Attr.Total() == Cycles).
+	Attr gpu.CycleAttr
 }
 
 // ED returns the energy-delay product (J·s).
@@ -29,11 +35,20 @@ func (r GPUResult) ED2() float64 { return energy.ED2(r.Energy.Total(), r.TimeSec
 
 // RunGPU executes a kernel on a GPU configuration.
 func RunGPU(cfg GPUConfig, kern gpu.Kernel, seed uint64) (GPUResult, error) {
+	return RunGPUObserved(cfg, kern, seed, nil)
+}
+
+// RunGPUObserved is RunGPU with observability: metrics, a per-device
+// trace timeline and a run record flow into o (nil disables all three).
+func RunGPUObserved(cfg GPUConfig, kern gpu.Kernel, seed uint64, o *obs.Observer) (GPUResult, error) {
+	wallStart := time.Now()
 	dev, err := gpu.NewDevice(cfg.Dev, kern, seed)
 	if err != nil {
 		return GPUResult{}, fmt.Errorf("hetsim %s: %w", cfg.Name, err)
 	}
 	s := dev.Run()
+	o.Prog().AddTarget(s.WaveInsts)
+	o.Prog().Add(s.WaveInsts)
 
 	timeSec := s.TimeNS(cfg.Dev.FreqGHz) * 1e-9
 	act := energy.GPUActivity{
@@ -49,9 +64,47 @@ func RunGPU(cfg GPUConfig, kern gpu.Kernel, seed uint64) (GPUResult, error) {
 	if err != nil {
 		return GPUResult{}, err
 	}
-	return GPUResult{
+	res := GPUResult{
 		Config: cfg.Name, Kernel: kern.Name, CUs: cfg.Dev.CUs,
 		Cycles: s.Cycles, TimeSec: timeSec, Energy: bd,
 		WaveInsts: s.WaveInsts, RFCacheHitRate: s.RFCacheHitRate(),
-	}, nil
+		Attr: s.Attr,
+	}
+	if o.Enabled() {
+		ipc := 0.0
+		if s.Cycles > 0 {
+			ipc = float64(s.WaveInsts) / float64(s.Cycles)
+		}
+		if tr := o.Tracer(); tr.Enabled() {
+			pid := tr.NextPID()
+			tr.ProcessName(pid, fmt.Sprintf("gpu %s / %s", cfg.Name, kern.Name))
+			tr.ThreadName(pid, 0, "device")
+			tr.Complete(pid, 0, "kernel", "sim",
+				0, obs.SimTS(s.Cycles, cfg.Dev.FreqGHz),
+				map[string]any{"wave_insts": s.WaveInsts, "ipc": ipc})
+			if timeSec > 0 {
+				tr.CounterSample(pid, "avg_power_w",
+					obs.SimTS(s.Cycles, cfg.Dev.FreqGHz),
+					map[string]float64{"total": bd.Total() / timeSec})
+			}
+		}
+		wall := time.Since(wallStart).Seconds()
+		rec := obs.RunRecord{
+			Kind: "gpu", Config: cfg.Name, Workload: kern.Name,
+			Seed:         seed,
+			Instructions: s.WaveInsts, Cycles: s.Cycles, CoreCycles: s.Attr.Total(),
+			TimeSec: timeSec, IPC: ipc,
+			CycleAttribution: s.Attr.Map(),
+			EnergyJ:          bd.Map(),
+			Extra: map[string]float64{
+				"rf_cache_hit_rate": s.RFCacheHitRate(),
+			},
+			WallSeconds: wall,
+		}
+		if wall > 0 {
+			rec.SimRateKIPS = float64(s.WaveInsts) / wall / 1e3
+		}
+		o.AddRecord(rec)
+	}
+	return res, nil
 }

@@ -2,10 +2,12 @@ package hetsim
 
 import (
 	"fmt"
+	"time"
 
 	"hetcore/internal/cache"
 	"hetcore/internal/cpu"
 	"hetcore/internal/energy"
+	"hetcore/internal/obs"
 	"hetcore/internal/trace"
 )
 
@@ -65,6 +67,7 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 		return HeteroCMPResult{}, fmt.Errorf("hetsim: hetero CMP needs both core types, got %d+%d",
 			hc.CMOSCores, hc.TFETCores)
 	}
+	wallStart := time.Now()
 	n := hc.CMOSCores + hc.TFETCores
 
 	// One shared hierarchy. The CMOS cores' clock dominates the uncore;
@@ -103,6 +106,35 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 	// The serial fraction runs on a fast CMOS core.
 	quota[0] += uint64(float64(opts.TotalInstructions) * prof.SerialFrac)
 
+	prog := opts.Obs.Prog()
+	tr := opts.Obs.Tracer()
+	var pid int64
+	if tr.Enabled() {
+		pid = tr.NextPID()
+		tr.ProcessName(pid, fmt.Sprintf("cmp %d CMOS + %d TFET / %s",
+			hc.CMOSCores, hc.TFETCores, prof.Name))
+		for i := 0; i < n; i++ {
+			kind := "cmos"
+			if i >= hc.CMOSCores {
+				kind = "tfet"
+			}
+			tr.ThreadName(pid, int64(i), fmt.Sprintf("core %d (%s)", i, kind))
+		}
+		if hc.Migrate {
+			// Barrier-aware migration redistributes work 2:1 before the
+			// parallel section; mark it on each core's timeline.
+			for i := 0; i < n; i++ {
+				tr.Instant(pid, int64(i), "migration.redistribute", "sched", 0,
+					map[string]any{"quota_insts": quota[i]})
+			}
+		}
+	}
+	var budget uint64
+	for _, q := range quota {
+		budget += q + opts.WarmupInstructions
+	}
+	prog.AddTarget(budget)
+
 	cores := make([]*cpu.Core, n)
 	for i := 0; i < n; i++ {
 		gen, err := trace.NewGenerator(prof, opts.Seed, i)
@@ -122,6 +154,7 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 	// Warmup, then measure (same methodology as RunCPU).
 	for i := 0; i < n; i++ {
 		cores[i].Run(opts.WarmupInstructions)
+		prog.Add(opts.WarmupInstructions)
 	}
 	snaps := make([]cpu.Stats, n)
 	for i, c := range cores {
@@ -144,6 +177,7 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 			}
 			cores[i].Run(chunk)
 			remaining[i] -= chunk
+			prog.Add(chunk)
 		}
 		if !active {
 			break
@@ -162,6 +196,11 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 		}
 		if t := stats[i].TimeNS(freq) * 1e-9; t > makespan {
 			makespan = t
+		}
+		if tr.Enabled() {
+			tr.Complete(pid, int64(i), "measure", "sim",
+				obs.SimTS(snaps[i].Cycles, freq), obs.SimTS(stats[i].Cycles, freq),
+				map[string]any{"insts": stats[i].Committed})
 		}
 	}
 
@@ -231,10 +270,44 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 	// iso-area budget).
 	tfetBD.L3Leak = 0
 
-	return HeteroCMPResult{
+	res := HeteroCMPResult{
 		Config:   hc,
 		Workload: prof.Name,
 		TimeSec:  makespan,
 		Energy:   cmosBD.Add(tfetBD),
-	}, nil
+	}
+	if o := opts.Obs; o.Enabled() {
+		var insts, coreCycles, maxCycles uint64
+		var attr cpu.CycleAttr
+		for _, s := range stats {
+			insts += s.Committed
+			coreCycles += s.Cycles
+			attr = attr.Add(s.Attr)
+			if s.Cycles > maxCycles {
+				maxCycles = s.Cycles
+			}
+		}
+		name := fmt.Sprintf("hetero-cmp-%dc%dt", hc.CMOSCores, hc.TFETCores)
+		if hc.Migrate {
+			name += "-migrate"
+		}
+		wall := time.Since(wallStart).Seconds()
+		rec := obs.RunRecord{
+			Kind: "cmp", Config: name, Workload: prof.Name,
+			Seed:         opts.Seed,
+			Instructions: insts, Cycles: maxCycles, CoreCycles: coreCycles,
+			TimeSec:          makespan,
+			CycleAttribution: attr.Map(),
+			EnergyJ:          res.Energy.Map(),
+			WallSeconds:      wall,
+		}
+		if coreCycles > 0 {
+			rec.IPC = float64(insts) / float64(coreCycles)
+		}
+		if wall > 0 {
+			rec.SimRateKIPS = float64(insts+uint64(n)*opts.WarmupInstructions) / wall / 1e3
+		}
+		o.AddRecord(rec)
+	}
+	return res, nil
 }

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// SchemaVersion identifies the run-record / report JSON schema.
+const SchemaVersion = "hetcore.obs/v1"
+
+// RunRecord is the structured record of one simulation run: what was
+// run, what it measured, and where its cycles went. All simulation
+// fields are deterministic for a fixed (config, workload, seed);
+// WallSeconds and SimRateKIPS describe the host and are excluded by
+// Canonical for byte-identity comparisons.
+type RunRecord struct {
+	Schema     string `json:"schema"`
+	Kind       string `json:"kind"` // "cpu", "gpu" or "cmp"
+	Experiment string `json:"experiment,omitempty"`
+	Config     string `json:"config"`
+	Workload   string `json:"workload"`
+	Seed       uint64 `json:"seed"`
+
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"` // critical-path cycles (slowest core)
+	CoreCycles   uint64  `json:"core_cycles"`
+	TimeSec      float64 `json:"time_sec"`
+	IPC          float64 `json:"ipc,omitempty"`
+
+	// CycleAttribution bins every simulated core cycle (summed over
+	// cores/CUs) into one top-down bucket; values sum to CoreCycles.
+	CycleAttribution map[string]uint64 `json:"cycle_attribution,omitempty"`
+
+	// EnergyJ is the per-component energy summary in joules.
+	EnergyJ map[string]float64 `json:"energy_j,omitempty"`
+
+	// Extra holds model-specific scalars (hit rates, mispredict rate...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+
+	// Host-timing fields (not deterministic).
+	WallSeconds float64 `json:"wall_seconds"`
+	SimRateKIPS float64 `json:"sim_rate_kips"`
+}
+
+// AttributionTotal returns the sum of the cycle-attribution buckets.
+func (r RunRecord) AttributionTotal() uint64 {
+	var t uint64
+	for _, v := range r.CycleAttribution {
+		t += v
+	}
+	return t
+}
+
+// Canonical returns a copy with the host-timing fields zeroed, so two
+// runs of the same experiment with the same seed marshal to identical
+// bytes.
+func (r RunRecord) Canonical() RunRecord {
+	r.WallSeconds = 0
+	r.SimRateKIPS = 0
+	return r
+}
+
+// CanonicalRecords maps Canonical over a record slice.
+func CanonicalRecords(recs []RunRecord) []RunRecord {
+	out := make([]RunRecord, len(recs))
+	for i, r := range recs {
+		out[i] = r.Canonical()
+	}
+	return out
+}
+
+// RecordSink accumulates run records; a nil sink discards them.
+type RecordSink struct {
+	mu      sync.Mutex
+	records []RunRecord
+}
+
+// Add appends a record.
+func (s *RecordSink) Add(r RunRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.records = append(s.records, r)
+	s.mu.Unlock()
+}
+
+// Records returns a copy of the accumulated records.
+func (s *RecordSink) Records() []RunRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RunRecord(nil), s.records...)
+}
+
+// Len returns the number of accumulated records.
+func (s *RecordSink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Manifest describes one harness invocation for the report header.
+type Manifest struct {
+	Schema      string   `json:"schema"`
+	Command     []string `json:"command,omitempty"`
+	GoVersion   string   `json:"go_version,omitempty"`
+	Experiments []string `json:"experiments,omitempty"`
+	Seed        uint64   `json:"seed"`
+	Runs        int      `json:"runs"`
+	WallSeconds float64  `json:"wall_seconds"`
+	SimRateKIPS float64  `json:"sim_rate_kips"` // aggregate instructions/wall-ms
+}
+
+// Report is the -metrics-out payload: manifest, metrics snapshot and the
+// per-run records.
+type Report struct {
+	Manifest Manifest    `json:"manifest"`
+	Metrics  Snapshot    `json:"metrics"`
+	Runs     []RunRecord `json:"runs"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("obs: encoding report: %w", err)
+	}
+	return nil
+}
+
+// FormatAttribution renders a cycle-attribution map as an aligned
+// fraction table (one line per bucket, descending share).
+func FormatAttribution(w io.Writer, attr map[string]uint64) error {
+	total := uint64(0)
+	keys := make([]string, 0, len(attr))
+	for k, v := range attr {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if attr[keys[i]] != attr[keys[j]] {
+			return attr[keys[i]] > attr[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(attr[k]) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%-20s %12d  %6.2f%%\n", k, attr[k], 100*frac); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-20s %12d\n", "total", total)
+	return err
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one Chrome trace-event (the format ui.perfetto.dev and
+// chrome://tracing load). Timestamps and durations are in microseconds;
+// for simulator timelines we map simulated nanoseconds to trace
+// microseconds so a 2 GHz cycle renders at a readable scale.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of a trace file.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceWriter buffers trace events and serialises them on demand. A nil
+// *TraceWriter discards everything, so call sites need no enabled-check.
+type TraceWriter struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	pids   int64
+}
+
+// NewTraceWriter returns an empty trace buffer.
+func NewTraceWriter() *TraceWriter { return &TraceWriter{} }
+
+// Enabled reports whether events are being recorded.
+func (t *TraceWriter) Enabled() bool { return t != nil }
+
+// NextPID allocates a fresh trace process id; each simulation run gets
+// its own so per-run timelines do not overlap.
+func (t *TraceWriter) NextPID() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pids++
+	return t.pids
+}
+
+func (t *TraceWriter) add(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// ProcessName emits the metadata event naming a trace process.
+func (t *TraceWriter) ProcessName(pid int64, name string) {
+	t.add(TraceEvent{Name: "process_name", Phase: "M", PID: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// ThreadName emits the metadata event naming a trace thread.
+func (t *TraceWriter) ThreadName(pid, tid int64, name string) {
+	t.add(TraceEvent{Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Complete emits a duration slice [tsUS, tsUS+durUS].
+func (t *TraceWriter) Complete(pid, tid int64, name, cat string, tsUS, durUS float64, args map[string]any) {
+	t.add(TraceEvent{Name: name, Cat: cat, Phase: "X", TS: tsUS, Dur: durUS,
+		PID: pid, TID: tid, Args: args})
+}
+
+// Instant emits a thread-scoped instant marker.
+func (t *TraceWriter) Instant(pid, tid int64, name, cat string, tsUS float64, args map[string]any) {
+	t.add(TraceEvent{Name: name, Cat: cat, Phase: "i", TS: tsUS,
+		PID: pid, TID: tid, Scope: "t", Args: args})
+}
+
+// CounterSample emits a counter-track sample; each key in values becomes
+// one series of the track.
+func (t *TraceWriter) CounterSample(pid int64, name string, tsUS float64, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.add(TraceEvent{Name: name, Phase: "C", TS: tsUS, PID: pid, Args: args})
+}
+
+// Len returns the number of buffered events.
+func (t *TraceWriter) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON serialises the buffered events as a Chrome trace JSON object.
+// Events keep insertion order; map-valued args are emitted with sorted
+// keys by encoding/json, so the output is deterministic for a
+// deterministic event stream.
+func (t *TraceWriter) WriteJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ns"}
+	if t != nil {
+		t.mu.Lock()
+		f.TraceEvents = append(f.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return nil
+}
+
+// SimTS converts simulated cycles at a clock to a trace timestamp:
+// simulated nanoseconds rendered as trace microseconds (1000x dilation,
+// so cycle-scale detail is visible in Perfetto).
+func SimTS(cycles uint64, freqGHz float64) float64 {
+	if freqGHz <= 0 {
+		return 0
+	}
+	return float64(cycles) / freqGHz
+}
