@@ -7,9 +7,12 @@
 //	hetcore run -exp fig7 [-instr N] [-seed S] [-workloads a,b] [-kernels X,Y] [-csv]
 //	hetcore all [-instr N] [-seed S] [-csv]
 //	hetcore bench [-instr N] [-o BENCH_sim_rate.json]
+//	hetcore diff [-tol PCT] [-rate-tol PCT] old.json new.json
 //
 // "run" executes one experiment; "all" executes the full evaluation in
-// paper order; "bench" measures the simulation rate of this host.
+// paper order; "bench" measures the simulation rate of this host;
+// "diff" compares two -metrics-out reports or two bench records and
+// exits non-zero when a metric regressed beyond its threshold.
 // Figures 7-9 and 13-14 simulate the 14 CPU workloads on every
 // configuration, so expect tens of seconds at the default instruction
 // budget.
@@ -18,7 +21,10 @@
 // manifest, a metrics snapshot and one structured record per simulation
 // run (including the top-down cycle attribution); -trace-out writes a
 // Chrome trace loadable in ui.perfetto.dev; -progress prints heartbeat
-// lines to stderr; -cpuprofile/-memprofile write pprof profiles.
+// lines to stderr; -serve starts the live telemetry dashboard (HTML,
+// /metrics.json, /metrics Prometheus text, /series, /events) on the
+// given address for the duration of the run; -cpuprofile/-memprofile
+// write pprof profiles.
 package main
 
 import (
@@ -44,6 +50,8 @@ func main() {
 		err = all(os.Args[2:])
 	case "bench":
 		err = bench(os.Args[2:])
+	case "diff":
+		err = diff(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -65,6 +73,7 @@ Commands:
   run -exp <id> [...]  run one experiment (e.g. fig7, table1)
   all [...]            run every experiment in paper order
   bench [...]          measure this host's simulation rate
+  diff old new         compare two reports/bench records, exit 1 on regression
 
 Flags for run/all:
   -instr N             total instructions per CPU run (default 400000)
@@ -76,6 +85,7 @@ Flags for run/all:
   -metrics-out F       write metrics + run-record report JSON
   -trace-out F         write Chrome trace JSON (open in ui.perfetto.dev)
   -progress            print progress heartbeats to stderr
+  -serve ADDR          serve the live telemetry dashboard (e.g. :8090)
   -cpuprofile F        write pprof CPU profile
   -memprofile F        write pprof heap profile
 
@@ -83,6 +93,11 @@ Flags for bench:
   -instr N             CPU instruction budget (default 2000000)
   -seed S              workload synthesis seed
   -o F                 output file (default BENCH_sim_rate.json)
+
+Flags for diff:
+  -tol PCT             tolerance for deterministic metrics, percent (default 0.1)
+  -rate-tol PCT        tolerance for host-timing metrics, percent (default 25)
+  -q                   only print regressions and the verdict
 `)
 }
 
@@ -203,5 +218,41 @@ func bench(args []string) error {
 	fmt.Printf("gpu  %12.0f wave-insts/s  (%s, %d insts in %.2fs)\n",
 		rec.GPUWaveInstsPerSec, rec.GPUKernel, rec.GPUWaveInsts, rec.GPUWallSeconds)
 	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func diff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.1, "tolerance for deterministic metrics, percent")
+	rateTol := fs.Float64("rate-tol", 25, "tolerance for host-timing metrics, percent")
+	quiet := fs.Bool("q", false, "only print regressions and the verdict")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff requires exactly two files: old.json new.json")
+	}
+	res, err := harness.DiffFiles(fs.Arg(0), fs.Arg(1), harness.DiffOptions{
+		RelTol:  *tol / 100,
+		RateTol: *rateTol / 100,
+	})
+	if err != nil {
+		return err
+	}
+	if *quiet {
+		for _, row := range res.Regressions() {
+			fmt.Printf("%s: %s -> %s (%.2f%%) REGRESSED\n",
+				row.Metric, harness.FormatMetric(row.Old), harness.FormatMetric(row.New), row.DeltaPct)
+		}
+	} else if err := res.Format(os.Stdout); err != nil {
+		return err
+	}
+	if res.Regressed() {
+		return fmt.Errorf("regression: %d metric(s) beyond tolerance (%s vs %s)",
+			len(res.Regressions()), fs.Arg(0), fs.Arg(1))
+	}
+	if *quiet {
+		fmt.Printf("-- OK: %d metric(s) within tolerance\n", len(res.Rows))
+	}
 	return nil
 }

@@ -54,7 +54,7 @@ func usage() {
   hetrace dump  -workload <name> -o <file.trc> [-n N] [-seed S] [-core C]
 
 Shared observability flags: -metrics-out, -trace-out, -progress,
--cpuprofile, -memprofile.
+-serve, -cpuprofile, -memprofile.
 `)
 }
 

@@ -14,8 +14,9 @@
 //
 // Each row reports time, energy and ED² normalised to the default AdvHet
 // configuration. The shared observability flags (-metrics-out,
-// -trace-out, -progress, -cpuprofile, -memprofile) record every variant
-// run.
+// -trace-out, -progress, -serve, -cpuprofile, -memprofile) record every
+// variant run; -serve addr exposes the live telemetry dashboard while
+// the sweep runs.
 package main
 
 import (

@@ -48,7 +48,7 @@ type Stats struct {
 	StallROB, StallIQ, StallLSQ, StallRegs, StallFetch uint64
 
 	// Occupancy accumulators (sum over cycles; divide by Cycles).
-	ROBOccAccum, IQOccAccum uint64
+	ROBOccAccum, IQOccAccum, LSQOccAccum uint64
 
 	// Attr is the top-down cycle attribution: every cycle is binned
 	// into exactly one bucket, so Attr.Total() == Cycles.
@@ -140,6 +140,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		StallFetch:  s.StallFetch - prev.StallFetch,
 		ROBOccAccum: s.ROBOccAccum - prev.ROBOccAccum,
 		IQOccAccum:  s.IQOccAccum - prev.IQOccAccum,
+		LSQOccAccum: s.LSQOccAccum - prev.LSQOccAccum,
 		Attr:        s.Attr.Delta(prev.Attr),
 		BPred: BPredStats{
 			Lookups:     s.BPred.Lookups - prev.BPred.Lookups,
@@ -175,6 +176,14 @@ func (s Stats) AvgIQOccupancy() float64 {
 		return 0
 	}
 	return float64(s.IQOccAccum) / float64(s.Cycles)
+}
+
+// AvgLSQOccupancy returns the mean number of occupied LSQ slots.
+func (s Stats) AvgLSQOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.LSQOccAccum) / float64(s.Cycles)
 }
 
 // StallBreakdown returns the fraction of cycles dispatch was blocked on
@@ -252,6 +261,14 @@ type Core struct {
 	intDivFree []int64
 	fpDivFree  []int64
 
+	// Periodic telemetry: sample fires with the cumulative Stats every
+	// time the cycle count crosses a multiple of sampleEvery. nextSample
+	// is MaxUint64 when sampling is disarmed, so the hot path pays one
+	// compare.
+	sample      func(Stats)
+	sampleEvery uint64
+	nextSample  uint64
+
 	stats Stats
 }
 
@@ -280,6 +297,7 @@ func NewCore(cfg Config, mem MemPort, src InstSource) (*Core, error) {
 		intRegBudget: max(8, cfg.IntRegs-archRegs),
 		fpRegBudget:  max(8, cfg.FPRegs-archRegs),
 		lastLine:     ^uint64(0),
+		nextSample:   ^uint64(0),
 	}
 	c.iq = make([]int, 0, cfg.IQSize)
 	laSize := cfg.SteerWindow
@@ -312,6 +330,31 @@ func (c *Core) Stats() Stats {
 	return s
 }
 
+// SetSampler arms periodic telemetry: fn is called with the cumulative
+// Stats every time the core's cycle count crosses a multiple of
+// intervalCycles (at most once per crossing — a fast-forward skip over
+// several intervals fires one sample). intervalCycles 0 or a nil fn
+// disarms sampling; a disarmed core pays one integer compare per cycle.
+func (c *Core) SetSampler(intervalCycles uint64, fn func(Stats)) {
+	if intervalCycles == 0 || fn == nil {
+		c.sample, c.sampleEvery, c.nextSample = nil, 0, ^uint64(0)
+		return
+	}
+	c.sample = fn
+	c.sampleEvery = intervalCycles
+	c.nextSample = (c.stats.Cycles/intervalCycles + 1) * intervalCycles
+}
+
+// maybeSample fires the telemetry callback if the cycle count crossed
+// the next sampling boundary, then re-arms past the current cycle.
+func (c *Core) maybeSample() {
+	if c.stats.Cycles < c.nextSample {
+		return
+	}
+	c.nextSample = (c.stats.Cycles/c.sampleEvery + 1) * c.sampleEvery
+	c.sample(c.Stats())
+}
+
 // Run simulates until n instructions have committed and returns the final
 // stats.
 func (c *Core) Run(n uint64) Stats {
@@ -329,6 +372,7 @@ func (c *Core) step() {
 	c.stats.Cycles++
 	c.stats.ROBOccAccum += uint64(c.robCount)
 	c.stats.IQOccAccum += uint64(len(c.iq))
+	c.stats.LSQOccAccum += uint64(c.lsq)
 
 	committed := c.commit()
 	issued := c.issue()
@@ -343,6 +387,7 @@ func (c *Core) step() {
 	if committed == 0 && issued == 0 && dispatched == 0 {
 		c.fastForward()
 	}
+	c.maybeSample()
 }
 
 // stallBucket classifies a cycle with no retirement. The checks read
@@ -390,6 +435,7 @@ func (c *Core) fastForward() {
 	c.stats.Cycles += skip
 	c.stats.ROBOccAccum += skip * uint64(c.robCount)
 	c.stats.IQOccAccum += skip * uint64(len(c.iq))
+	c.stats.LSQOccAccum += skip * uint64(c.lsq)
 	if skip > 0 {
 		// The machine state is frozen across the skip, so one
 		// classification covers every skipped cycle.

@@ -110,12 +110,22 @@ func SelectObserved(p Profile, budgetWatts, fmin, fmax, stepGHz float64, d *devi
 			if reg != nil {
 				reg.Counter("governor.decisions_infeasible").Inc()
 			}
+			o.AddEvent(obs.Event{Cat: "governor", Name: "governor.infeasible",
+				Args: map[string]float64{"budget_watts": budgetWatts, "fmin_ghz": fmin}})
 		} else {
 			if reg != nil {
 				reg.Counter("governor.decisions_total").Inc()
 				reg.Gauge("governor.last_freq_ghz").Set(dec.FrequencyGHz)
 				reg.Gauge("governor.last_watts").Set(dec.Watts)
 			}
+			o.AddEvent(obs.Event{Cat: "governor", Name: "governor.decision",
+				Args: map[string]float64{
+					"freq_ghz":     dec.FrequencyGHz,
+					"watts":        dec.Watts,
+					"budget_watts": budgetWatts,
+					"v_cmos":       dec.Pair.VCMOS,
+					"v_tfet":       dec.Pair.VTFET,
+				}})
 			if tr := o.Tracer(); tr.Enabled() {
 				tr.Instant(0, 0, "governor.decision", "governor", 0,
 					map[string]any{

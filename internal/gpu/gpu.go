@@ -70,6 +70,14 @@ type Device struct {
 	cycle  int64
 	stats  Stats
 	active int // unfinished waves
+
+	// Periodic telemetry: sample fires with the cumulative Stats every
+	// time the device clock crosses a multiple of sampleEvery.
+	// nextSample is MaxInt64 when disarmed, so the run loop pays one
+	// compare per cycle.
+	sample      func(Stats)
+	sampleEvery int64
+	nextSample  int64
 }
 
 // NewDevice builds a device for a kernel launch.
@@ -80,7 +88,7 @@ func NewDevice(cfg Config, kern Kernel, seed uint64) (*Device, error) {
 	if err := kern.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Device{cfg: cfg, kern: kern, active: kern.Wavefronts}
+	d := &Device{cfg: cfg, kern: kern, active: kern.Wavefronts, nextSample: int64(1) << 62}
 	var err error
 	if d.l2, err = cache.New("gpu-l2", cfg.L2Size, cfg.L2Ways, cfg.LineSize); err != nil {
 		return nil, err
@@ -147,6 +155,31 @@ func (d *Device) Stats() Stats {
 	return s
 }
 
+// SetSampler arms periodic telemetry: fn is called with the cumulative
+// Stats every time the device clock crosses a multiple of intervalCycles
+// (at most once per crossing — a fast-forward skip over several
+// intervals fires one sample). intervalCycles 0 or a nil fn disarms
+// sampling.
+func (d *Device) SetSampler(intervalCycles uint64, fn func(Stats)) {
+	if intervalCycles == 0 || fn == nil {
+		d.sample, d.sampleEvery, d.nextSample = nil, 0, int64(1)<<62
+		return
+	}
+	d.sample = fn
+	d.sampleEvery = int64(intervalCycles)
+	d.nextSample = (d.cycle/d.sampleEvery + 1) * d.sampleEvery
+}
+
+// maybeSample fires the telemetry callback if the clock crossed the next
+// sampling boundary, then re-arms past the current cycle.
+func (d *Device) maybeSample() {
+	if d.cycle < d.nextSample {
+		return
+	}
+	d.nextSample = (d.cycle/d.sampleEvery + 1) * d.sampleEvery
+	d.sample(d.Stats())
+}
+
 // Run executes the kernel to completion and returns the final stats.
 func (d *Device) Run() Stats {
 	// Each wavefront occupies its SIMD pipeline for WavefrontSize/EUs
@@ -200,6 +233,7 @@ func (d *Device) Run() Stats {
 		} else {
 			d.fastForward()
 		}
+		d.maybeSample()
 	}
 	return d.Stats()
 }

@@ -1,0 +1,62 @@
+package gpu
+
+import "testing"
+
+func TestSamplerFiresPerInterval(t *testing.T) {
+	d, err := NewDevice(DefaultConfig(), smallKernel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []Stats
+	const interval = 200
+	d.SetSampler(interval, func(s Stats) { samples = append(samples, s) })
+	st := d.Run()
+
+	if len(samples) == 0 {
+		t.Fatal("sampler never fired")
+	}
+	want := st.Cycles / interval
+	if uint64(len(samples)) > want+1 || uint64(len(samples))+1 < want {
+		t.Fatalf("fired %d times over %d cycles, want about %d", len(samples), st.Cycles, want)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycles <= samples[i-1].Cycles {
+			t.Fatalf("sample %d cycles %d not after %d", i, samples[i].Cycles, samples[i-1].Cycles)
+		}
+		if samples[i].WaveInsts < samples[i-1].WaveInsts {
+			t.Fatalf("sample %d wave insts went backwards", i)
+		}
+	}
+}
+
+func TestSamplerDisarm(t *testing.T) {
+	d, err := NewDevice(DefaultConfig(), smallKernel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	d.SetSampler(100, func(Stats) { fired++ })
+	d.SetSampler(0, nil)
+	d.Run()
+	if fired != 0 {
+		t.Fatalf("disarmed sampler fired %d times", fired)
+	}
+}
+
+// Sampling must not perturb the simulation.
+func TestSamplerDoesNotPerturb(t *testing.T) {
+	run := func(sample bool) Stats {
+		d, err := NewDevice(DefaultConfig(), smallKernel(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sample {
+			d.SetSampler(150, func(Stats) {})
+		}
+		return d.Run()
+	}
+	a, b := run(false), run(true)
+	if a != b {
+		t.Fatalf("sampling changed the simulation:\nwithout: %+v\nwith:    %+v", a, b)
+	}
+}

@@ -48,6 +48,7 @@ type ObsFlags struct {
 	MetricsOut string
 	TraceOut   string
 	Progress   bool
+	Serve      string
 	CPUProfile string
 	MemProfile string
 }
@@ -58,13 +59,14 @@ func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the metrics/run-record report JSON here")
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace (ui.perfetto.dev) JSON here")
 	fs.BoolVar(&f.Progress, "progress", false, "print progress heartbeats to stderr")
+	fs.StringVar(&f.Serve, "serve", "", "serve the live telemetry dashboard on this addr (e.g. :8090)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile here")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile here")
 	return &f
 }
 
 func (f *ObsFlags) enabled() bool {
-	return f.MetricsOut != "" || f.TraceOut != "" || f.Progress
+	return f.MetricsOut != "" || f.TraceOut != "" || f.Progress || f.Serve != ""
 }
 
 // ObsSession is one CLI invocation's observability state: the Observer to
@@ -81,6 +83,7 @@ type ObsSession struct {
 	command []string
 	start   time.Time
 	cpuProf *os.File
+	server  *obs.Server
 }
 
 // Start opens the observability session described by the flags: it builds
@@ -109,12 +112,43 @@ func (f *ObsFlags) Start(command []string) (*ObsSession, error) {
 			o.Trace = obs.NewTraceWriter()
 			o.Trace.ProcessName(0, "harness")
 		}
-		if f.Progress {
+		switch {
+		case f.Progress:
 			o.Progress = obs.NewProgress(os.Stderr, 0)
+		case f.Serve != "":
+			// The dashboard needs heartbeat state even when the stderr
+			// heartbeat is off; discard the printed lines.
+			o.Progress = obs.NewProgress(io.Discard, 0)
+		}
+		if f.Serve != "" {
+			// Live telemetry: per-interval series, the event log and the
+			// HTTP dashboard. Only -serve arms the samplers, so plain
+			// -metrics-out runs keep their exact prior cost and output.
+			o.Series = obs.NewSeriesSet(0)
+			o.Events = obs.NewEventLog(0)
+			srv, err := obs.StartServer(f.Serve, o)
+			if err != nil {
+				if s.cpuProf != nil {
+					pprof.StopCPUProfile()
+					s.cpuProf.Close()
+				}
+				return nil, err
+			}
+			s.server = srv
+			fmt.Fprintf(os.Stderr, "obs: serving live telemetry on %s\n", srv.URL())
 		}
 		s.Obs = o
 	}
 	return s, nil
+}
+
+// ServerURL returns the live-telemetry dashboard URL ("" when -serve is
+// not set).
+func (s *ObsSession) ServerURL() string {
+	if s == nil || s.server == nil {
+		return ""
+	}
+	return s.server.URL()
 }
 
 // Close stops profiling and writes the trace and metrics files.
@@ -151,6 +185,11 @@ func (s *ObsSession) Close() error {
 	if s.flags.MetricsOut != "" {
 		if err := writeFileWith(s.flags.MetricsOut, s.Report().WriteJSON); err != nil {
 			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if s.server != nil {
+		if err := s.server.Close(); err != nil {
+			return fmt.Errorf("stopping telemetry server: %w", err)
 		}
 	}
 	return nil

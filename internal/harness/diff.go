@@ -1,0 +1,325 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"hetcore/internal/obs"
+)
+
+// This file is the cross-run regression gate: `hetcore diff` loads two
+// run-record manifests (the -metrics-out reports, schema hetcore.obs/v1)
+// or two BENCH_sim_rate.json files, computes per-metric deltas against
+// configurable thresholds, renders a readable table and reports whether
+// anything regressed. scripts/ci.sh runs it against the committed
+// baseline so sim-rate or paper-metric drift fails CI.
+
+// DiffOptions sets the regression thresholds. Deterministic simulation
+// metrics (IPC, time, energy, instruction counts — fixed for a given
+// config/workload/seed) use RelTol; host-timing metrics (simulation
+// rates, wall seconds) vary run to run and machine to machine and use
+// the much looser RateTol.
+type DiffOptions struct {
+	// RelTol is the relative tolerance for deterministic metrics
+	// (fraction; 0.001 = 0.1%). Any drift beyond it, in either
+	// direction for direction-less metrics, is flagged.
+	RelTol float64
+	// RateTol is the relative tolerance for host-timing metrics
+	// (fraction; 0.25 = a 25% slowdown fails).
+	RateTol float64
+}
+
+// withDefaults fills unset thresholds.
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.RelTol == 0 {
+		o.RelTol = 0.001
+	}
+	if o.RateTol == 0 {
+		o.RateTol = 0.25
+	}
+	return o
+}
+
+// diffDirection says which way a metric may move without regressing.
+type diffDirection int
+
+const (
+	higherBetter diffDirection = iota
+	lowerBetter
+	exactMatch // deterministic: any drift beyond tolerance regresses
+)
+
+// DiffRow is one compared metric.
+type DiffRow struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// DeltaPct is 100*(new-old)/old (0 when old == 0).
+	DeltaPct float64 `json:"delta_pct"`
+	// Status is "ok", "improved", or "REGRESSED".
+	Status string `json:"status"`
+}
+
+// DiffResult is the full comparison.
+type DiffResult struct {
+	Kind string    `json:"kind"` // "report" or "bench"
+	Rows []DiffRow `json:"rows"`
+}
+
+// Regressed reports whether any metric regressed.
+func (r DiffResult) Regressed() bool {
+	for _, row := range r.Rows {
+		if row.Status == "REGRESSED" {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressions returns the regressed rows.
+func (r DiffResult) Regressions() []DiffRow {
+	var out []DiffRow
+	for _, row := range r.Rows {
+		if row.Status == "REGRESSED" {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Format renders the comparison as an aligned table.
+func (r DiffResult) Format(w io.Writer) error {
+	width := len("metric")
+	for _, row := range r.Rows {
+		if len(row.Metric) > width {
+			width = len(row.Metric)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %14s %14s %9s  %s\n",
+		width, "metric", "old", "new", "delta", "status"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%-*s %14s %14s %8.2f%%  %s\n",
+			width, row.Metric, FormatMetric(row.Old), FormatMetric(row.New),
+			row.DeltaPct, row.Status); err != nil {
+			return err
+		}
+	}
+	reg := len(r.Regressions())
+	verdict := "OK"
+	if reg > 0 {
+		verdict = fmt.Sprintf("REGRESSED (%d metric(s))", reg)
+	}
+	_, err := fmt.Fprintf(w, "-- %d metric(s) compared: %s\n", len(r.Rows), verdict)
+	return err
+}
+
+// FormatMetric formats a metric value compactly for the diff table.
+func FormatMetric(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1e6 || (av < 1e-3 && av > 0):
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// classify scores one metric movement.
+func classify(old, new float64, dir diffDirection, tol float64) (deltaPct float64, status string) {
+	if old != 0 {
+		deltaPct = 100 * (new - old) / old
+	}
+	var rel float64
+	switch {
+	case old == 0 && new == 0:
+		return 0, "ok"
+	case old == 0:
+		rel = math.Inf(1)
+		if new < 0 {
+			rel = math.Inf(-1)
+		}
+	default:
+		rel = (new - old) / math.Abs(old)
+	}
+	switch dir {
+	case higherBetter:
+		if rel < -tol {
+			return deltaPct, "REGRESSED"
+		}
+		if rel > tol {
+			return deltaPct, "improved"
+		}
+	case lowerBetter:
+		if rel > tol {
+			return deltaPct, "REGRESSED"
+		}
+		if rel < -tol {
+			return deltaPct, "improved"
+		}
+	case exactMatch:
+		if math.Abs(rel) > tol {
+			return deltaPct, "REGRESSED"
+		}
+	}
+	return deltaPct, "ok"
+}
+
+// diffFile is the sniffed union of the two supported payloads.
+type diffFile struct {
+	report *obs.Report
+	bench  *BenchRecord
+}
+
+// loadDiffFile reads path and decides whether it is a -metrics-out
+// report or a BENCH_sim_rate.json record.
+func loadDiffFile(path string) (diffFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return diffFile{}, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return diffFile{}, fmt.Errorf("%s: not a JSON object: %w", path, err)
+	}
+	switch {
+	case probe["manifest"] != nil:
+		var r obs.Report
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return diffFile{}, fmt.Errorf("%s: decoding report: %w", path, err)
+		}
+		if r.Manifest.Schema != obs.SchemaVersion {
+			return diffFile{}, fmt.Errorf("%s: schema %q, want %q",
+				path, r.Manifest.Schema, obs.SchemaVersion)
+		}
+		return diffFile{report: &r}, nil
+	case probe["cpu_insts_per_sec"] != nil:
+		var b BenchRecord
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return diffFile{}, fmt.Errorf("%s: decoding bench record: %w", path, err)
+		}
+		return diffFile{bench: &b}, nil
+	default:
+		return diffFile{}, fmt.Errorf("%s: neither a metrics report (manifest) nor a bench record (cpu_insts_per_sec)", path)
+	}
+}
+
+// DiffFiles loads and compares two payload files of the same kind.
+func DiffFiles(oldPath, newPath string, opts DiffOptions) (DiffResult, error) {
+	a, err := loadDiffFile(oldPath)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	b, err := loadDiffFile(newPath)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	switch {
+	case a.report != nil && b.report != nil:
+		return DiffReports(*a.report, *b.report, opts), nil
+	case a.bench != nil && b.bench != nil:
+		return DiffBench(*a.bench, *b.bench, opts), nil
+	default:
+		return DiffResult{}, fmt.Errorf("cannot diff a metrics report against a bench record (%s vs %s)", oldPath, newPath)
+	}
+}
+
+// DiffBench compares two simulation-rate benchmark records. Rates are
+// host timing, so both use RateTol and only slowdowns regress.
+func DiffBench(old, new BenchRecord, opts DiffOptions) DiffResult {
+	opts = opts.withDefaults()
+	res := DiffResult{Kind: "bench"}
+	add := func(metric string, o, n float64, dir diffDirection, tol float64) {
+		d, st := classify(o, n, dir, tol)
+		res.Rows = append(res.Rows, DiffRow{Metric: metric, Old: o, New: n, DeltaPct: d, Status: st})
+	}
+	add("cpu_insts_per_sec", old.CPUInstsPerSec, new.CPUInstsPerSec, higherBetter, opts.RateTol)
+	add("gpu_wave_insts_per_sec", old.GPUWaveInstsPerSec, new.GPUWaveInstsPerSec, higherBetter, opts.RateTol)
+	add("cpu_instructions", float64(old.CPUInstructions), float64(new.CPUInstructions), exactMatch, opts.RelTol)
+	add("gpu_wave_insts", float64(old.GPUWaveInsts), float64(new.GPUWaveInsts), exactMatch, opts.RelTol)
+	return res
+}
+
+// runKey identifies a run record across two reports.
+func runKey(r obs.RunRecord) string {
+	k := r.Kind + "/" + r.Config + "/" + r.Workload
+	if r.Experiment != "" {
+		k = r.Experiment + "/" + k
+	}
+	return k
+}
+
+// DiffReports compares two -metrics-out reports: the aggregate sim rate
+// (host timing) and, for every run present in both, the deterministic
+// paper metrics — IPC, simulated time, total energy, instruction count.
+// Runs that disappeared from the new report regress; new runs are noted
+// as ok.
+func DiffReports(old, new obs.Report, opts DiffOptions) DiffResult {
+	opts = opts.withDefaults()
+	res := DiffResult{Kind: "report"}
+	add := func(metric string, o, n float64, dir diffDirection, tol float64) {
+		d, st := classify(o, n, dir, tol)
+		res.Rows = append(res.Rows, DiffRow{Metric: metric, Old: o, New: n, DeltaPct: d, Status: st})
+	}
+	add("manifest.sim_rate_kips", old.Manifest.SimRateKIPS, new.Manifest.SimRateKIPS,
+		higherBetter, opts.RateTol)
+	add("manifest.runs", float64(old.Manifest.Runs), float64(new.Manifest.Runs),
+		higherBetter, opts.RelTol)
+
+	oldRuns := make(map[string]obs.RunRecord, len(old.Runs))
+	for _, r := range old.Runs {
+		oldRuns[runKey(r)] = r
+	}
+	newRuns := make(map[string]obs.RunRecord, len(new.Runs))
+	for _, r := range new.Runs {
+		newRuns[runKey(r)] = r
+	}
+	keys := make([]string, 0, len(oldRuns))
+	for k := range oldRuns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := oldRuns[k]
+		n, ok := newRuns[k]
+		if !ok {
+			res.Rows = append(res.Rows, DiffRow{Metric: k + ".missing",
+				Old: 1, New: 0, DeltaPct: -100, Status: "REGRESSED"})
+			continue
+		}
+		add(k+".ipc", o.IPC, n.IPC, higherBetter, opts.RelTol)
+		add(k+".time_sec", o.TimeSec, n.TimeSec, lowerBetter, opts.RelTol)
+		add(k+".energy_j", energyTotal(o), energyTotal(n), lowerBetter, opts.RelTol)
+		add(k+".instructions", float64(o.Instructions), float64(n.Instructions),
+			exactMatch, opts.RelTol)
+	}
+	// Runs only in the new report: visible, never a regression.
+	extras := make([]string, 0)
+	for k := range newRuns {
+		if _, ok := oldRuns[k]; !ok {
+			extras = append(extras, k)
+		}
+	}
+	sort.Strings(extras)
+	for _, k := range extras {
+		res.Rows = append(res.Rows, DiffRow{Metric: k + ".new", Old: 0,
+			New: 1, Status: "ok"})
+	}
+	return res
+}
+
+// energyTotal sums a record's per-component energy map.
+func energyTotal(r obs.RunRecord) float64 {
+	t := 0.0
+	for _, v := range r.EnergyJ {
+		t += v
+	}
+	return t
+}

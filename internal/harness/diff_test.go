@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetcore/internal/obs"
+)
+
+// fixtureReport builds a deterministic report with two runs.
+func fixtureReport() obs.Report {
+	return obs.Report{
+		Manifest: obs.Manifest{
+			Schema:      obs.SchemaVersion,
+			Runs:        2,
+			SimRateKIPS: 5000,
+		},
+		Runs: []obs.RunRecord{
+			{
+				Experiment: "fig7", Kind: "cpu", Config: "AdvHet", Workload: "barnes",
+				Instructions: 400000, Cycles: 320000, TimeSec: 1.6e-4, IPC: 1.25,
+				EnergyJ: map[string]float64{"core": 2.0e-4, "cache": 0.5e-4},
+			},
+			{
+				Experiment: "fig10", Kind: "gpu", Config: "AdvHet-GPU", Workload: "MatMul",
+				Instructions: 800000, Cycles: 500000, TimeSec: 5.0e-4, IPC: 1.6,
+				EnergyJ: map[string]float64{"simd": 3.0e-4},
+			},
+		},
+	}
+}
+
+func TestDiffReportsIdentical(t *testing.T) {
+	r := fixtureReport()
+	res := DiffReports(r, r, DiffOptions{})
+	if res.Regressed() {
+		t.Fatalf("identical reports regressed: %+v", res.Regressions())
+	}
+	for _, row := range res.Rows {
+		if row.Status != "ok" {
+			t.Fatalf("row %s status = %s, want ok", row.Metric, row.Status)
+		}
+	}
+}
+
+func TestDiffReportsRegression(t *testing.T) {
+	old := fixtureReport()
+	bad := fixtureReport()
+	bad.Runs[0].IPC = 1.0                // -20% IPC: regression
+	bad.Runs[1].EnergyJ["simd"] = 4.0e-4 // +33% energy: regression
+	bad.Manifest.SimRateKIPS = 4500      // -10%: within RateTol, ok
+	res := DiffReports(old, bad, DiffOptions{})
+	if !res.Regressed() {
+		t.Fatal("regressed report passed")
+	}
+	status := map[string]string{}
+	for _, row := range res.Rows {
+		status[row.Metric] = row.Status
+	}
+	if status["fig7/cpu/AdvHet/barnes.ipc"] != "REGRESSED" {
+		t.Fatalf("ipc drop not flagged: %v", status)
+	}
+	if status["fig10/gpu/AdvHet-GPU/MatMul.energy_j"] != "REGRESSED" {
+		t.Fatalf("energy rise not flagged: %v", status)
+	}
+	if status["manifest.sim_rate_kips"] != "ok" {
+		t.Fatalf("10%% rate dip should be within tolerance: %v", status)
+	}
+}
+
+func TestDiffReportsImprovementPasses(t *testing.T) {
+	old := fixtureReport()
+	better := fixtureReport()
+	better.Runs[0].IPC = 2.0        // higher is better
+	better.Runs[0].TimeSec = 1.0e-4 // lower is better
+	res := DiffReports(old, better, DiffOptions{})
+	if res.Regressed() {
+		t.Fatalf("improvement flagged as regression: %+v", res.Regressions())
+	}
+}
+
+func TestDiffReportsDeterminismDrift(t *testing.T) {
+	old := fixtureReport()
+	drift := fixtureReport()
+	drift.Runs[0].Instructions = 400100 // instruction count is exact-match
+	res := DiffReports(old, drift, DiffOptions{RelTol: 1e-5})
+	if !res.Regressed() {
+		t.Fatal("instruction-count drift not flagged")
+	}
+}
+
+func TestDiffReportsMissingRun(t *testing.T) {
+	old := fixtureReport()
+	short := fixtureReport()
+	short.Runs = short.Runs[:1]
+	short.Manifest.Runs = 1
+	res := DiffReports(old, short, DiffOptions{})
+	if !res.Regressed() {
+		t.Fatal("missing run not flagged")
+	}
+	// The reverse — a new run appearing — must pass.
+	res = DiffReports(short, old, DiffOptions{})
+	if res.Regressed() {
+		t.Fatalf("added run flagged as regression: %+v", res.Regressions())
+	}
+}
+
+func TestDiffBench(t *testing.T) {
+	old := BenchRecord{CPUInstsPerSec: 1e6, GPUWaveInstsPerSec: 2e6,
+		CPUInstructions: 2000000, GPUWaveInsts: 500000}
+	same := old
+	if res := DiffBench(old, same, DiffOptions{}); res.Regressed() {
+		t.Fatalf("identical bench records regressed: %+v", res.Regressions())
+	}
+	slow := old
+	slow.CPUInstsPerSec = 5e5 // -50%: beyond the default 25% RateTol
+	if res := DiffBench(old, slow, DiffOptions{}); !res.Regressed() {
+		t.Fatal("halved sim rate not flagged")
+	}
+	jitter := old
+	jitter.CPUInstsPerSec = 0.9e6 // -10%: host noise, within tolerance
+	if res := DiffBench(old, jitter, DiffOptions{}); res.Regressed() {
+		t.Fatalf("10%% rate jitter flagged: %+v", res.Regressions())
+	}
+}
+
+func TestDiffFilesSniffing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, gen func(w io.Writer) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gen(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rep := fixtureReport()
+	repPath := write("report.json", rep.WriteJSON)
+	bench := BenchRecord{Schema: "hetcore.bench/v1", CPUInstsPerSec: 1e6,
+		GPUWaveInstsPerSec: 2e6, CPUInstructions: 2000000, GPUWaveInsts: 500000}
+	benchPath := write("bench.json", bench.WriteJSON)
+
+	res, err := DiffFiles(repPath, repPath, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "report" || res.Regressed() {
+		t.Fatalf("report self-diff: kind=%s regressed=%v", res.Kind, res.Regressed())
+	}
+	res, err = DiffFiles(benchPath, benchPath, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "bench" || res.Regressed() {
+		t.Fatalf("bench self-diff: kind=%s regressed=%v", res.Kind, res.Regressed())
+	}
+	if _, err := DiffFiles(repPath, benchPath, DiffOptions{}); err == nil {
+		t.Fatal("mixed-kind diff accepted")
+	}
+	if _, err := DiffFiles(filepath.Join(dir, "absent.json"), repPath, DiffOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGoldenDiffTable(t *testing.T) {
+	old := fixtureReport()
+	bad := fixtureReport()
+	bad.Runs[0].IPC = 1.0
+	bad.Runs[1].EnergyJ["simd"] = 4.0e-4
+	bad.Manifest.SimRateKIPS = 6000 // +20% improvement, within tolerance
+	res := DiffReports(old, bad, DiffOptions{})
+	var buf bytes.Buffer
+	if err := res.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff_report.golden", buf.Bytes())
+}

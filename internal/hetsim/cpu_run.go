@@ -143,6 +143,11 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 	}
 	prog.AddTarget(budget)
 
+	asn := adjustAssign(cfg.Assign, opts.CMOSAdjust, opts.TFETAdjust)
+	detach := attachCPUTelemetry(opts.Obs,
+		"cpu."+cfg.Name+"."+prof.Name+".", cfg.FreqGHz(), cores, hier, asn)
+	defer detach()
+
 	runInterleaved := func(remaining []uint64) {
 		for {
 			active := false
@@ -254,7 +259,6 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 	act.TimeSec = timeSec
 	act.Cores = n
 
-	asn := adjustAssign(cfg.Assign, opts.CMOSAdjust, opts.TFETAdjust)
 	bd, err := energy.ComputeCPU(energy.DefaultCPULibrary(), act, asn)
 	if err != nil {
 		return CPUResult{}, err

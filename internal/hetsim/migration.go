@@ -129,6 +129,21 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 			}
 		}
 	}
+	if hc.Migrate {
+		// The same redistribution feeds the live event log, so the
+		// dashboard's /events shows migration state as the sweep runs.
+		for i := 0; i < n; i++ {
+			kind := 0.0 // 0 = CMOS core, 1 = TFET core
+			if i >= hc.CMOSCores {
+				kind = 1.0
+			}
+			opts.Obs.AddEvent(obs.Event{Cat: "sched", Name: "migration.redistribute",
+				Args: map[string]float64{
+					"core": float64(i), "tfet": kind,
+					"quota_insts": float64(quota[i]),
+				}})
+		}
+	}
 	var budget uint64
 	for _, q := range quota {
 		budget += q + opts.WarmupInstructions
@@ -150,6 +165,14 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 			return HeteroCMPResult{}, err
 		}
 	}
+
+	name := fmt.Sprintf("hetero-cmp-%dc%dt", hc.CMOSCores, hc.TFETCores)
+	if hc.Migrate {
+		name += "-migrate"
+	}
+	detach := attachCPUTelemetry(opts.Obs, "cmp."+name+"."+prof.Name+".",
+		cmosCfg.FreqGHz, cores, hier, energy.AllCMOSAssign())
+	defer detach()
 
 	// Warmup, then measure (same methodology as RunCPU).
 	for i := 0; i < n; i++ {
@@ -286,10 +309,6 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 			if s.Cycles > maxCycles {
 				maxCycles = s.Cycles
 			}
-		}
-		name := fmt.Sprintf("hetero-cmp-%dc%dt", hc.CMOSCores, hc.TFETCores)
-		if hc.Migrate {
-			name += "-migrate"
 		}
 		wall := time.Since(wallStart).Seconds()
 		rec := obs.RunRecord{

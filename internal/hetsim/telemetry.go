@@ -1,0 +1,175 @@
+package hetsim
+
+import (
+	"hetcore/internal/cache"
+	"hetcore/internal/cpu"
+	"hetcore/internal/energy"
+	"hetcore/internal/gpu"
+	"hetcore/internal/obs"
+	"hetcore/internal/trace"
+)
+
+// This file wires the simulators' periodic sampler hooks to the
+// observability layer's time series: every obs.Observer.SamplePeriod()
+// simulated cycles the pacing core (or the GPU device clock) fires a
+// callback that computes windowed aggregates — IPC, queue occupancies,
+// TFET-vs-CMOS unit utilisation, a dynamic-energy estimate — and appends
+// them to named series. With no series set attached, SamplePeriod is 0
+// and the samplers stay disarmed, so an uninstrumented run pays nothing
+// beyond the simulators' one compare per cycle.
+//
+// The energy figures here are live estimates assembled from per-op
+// dynamic energies only (no leakage, no end-of-run calibration); the
+// authoritative numbers remain the end-of-run energy.Compute* results.
+
+// attachCPUTelemetry arms per-interval sampling on the pacing core
+// (cores[0]). Windowed values aggregate over all cores, which the chunked
+// round-robin keeps within one chunk of the pacing core's clock. The
+// returned func detaches the sampler (safe to call when never attached).
+func attachCPUTelemetry(o *obs.Observer, prefix string, freqGHz float64,
+	cores []*cpu.Core, hier *cache.Hierarchy, asn energy.CPUAssign) func() {
+	period := o.SamplePeriod()
+	if period == 0 || len(cores) == 0 {
+		return func() {}
+	}
+	ss := o.TimeSeries()
+	reg := o.Reg()
+	lib := energy.DefaultCPULibrary()
+
+	ipcS := ss.Series(prefix + "ipc")
+	robS := ss.Series(prefix + "rob_occ")
+	iqS := ss.Series(prefix + "iq_occ")
+	lsqS := ss.Series(prefix + "lsq_occ")
+	fastS := ss.Series(prefix + "alu_fast_frac")
+	enS := ss.Series(prefix + "window_dyn_j")
+	powS := ss.Series(prefix + "power_w")
+
+	prev := make([]cpu.Stats, len(cores))
+	for i, c := range cores {
+		prev[i] = c.Stats()
+	}
+	prevCounts := hier.Counts()
+	prevPacing := prev[0].Cycles
+
+	cores[0].SetSampler(period, func(s0 cpu.Stats) {
+		t := obs.SimTS(s0.Cycles, freqGHz)
+		var d cpu.Stats
+		for i, c := range cores {
+			cur := c.Stats()
+			w := cur.Delta(prev[i])
+			prev[i] = cur
+			d.Cycles += w.Cycles
+			d.Committed += w.Committed
+			d.ROBOccAccum += w.ROBOccAccum
+			d.IQOccAccum += w.IQOccAccum
+			d.LSQOccAccum += w.LSQOccAccum
+			d.ALUFastOps += w.ALUFastOps
+			d.ALUSlowOps += w.ALUSlowOps
+			d.IntRegReads += w.IntRegReads
+			d.IntRegWrites += w.IntRegWrites
+			d.FPRegReads += w.FPRegReads
+			d.FPRegWrites += w.FPRegWrites
+			d.BPred.Lookups += w.BPred.Lookups
+			for op := range w.Ops {
+				d.Ops[op] += w.Ops[op]
+			}
+		}
+		counts := hier.Counts()
+		dc := counts.Delta(prevCounts)
+		prevCounts = counts
+
+		if d.Cycles > 0 {
+			c := float64(d.Cycles)
+			ipcS.Append(t, float64(d.Committed)/c)
+			robS.Append(t, float64(d.ROBOccAccum)/c)
+			iqS.Append(t, float64(d.IQOccAccum)/c)
+			lsqS.Append(t, float64(d.LSQOccAccum)/c)
+		}
+		if alu := d.ALUFastOps + d.ALUSlowOps; alu > 0 {
+			fastS.Append(t, float64(d.ALUFastOps)/float64(alu))
+		}
+		e := windowCPUDynJ(lib, asn, d, dc)
+		enS.Append(t, e)
+		if dPacing := s0.Cycles - prevPacing; dPacing > 0 {
+			powS.Append(t, e*freqGHz*1e9/float64(dPacing))
+		}
+		prevPacing = s0.Cycles
+		reg.Counter("obs.cpu_samples_total").Inc()
+	})
+	return func() { cores[0].SetSampler(0, nil) }
+}
+
+// windowCPUDynJ estimates one window's dynamic energy in joules from the
+// aggregated per-op deltas, using the same per-event energies and
+// technology scaling the end-of-run accounting uses.
+func windowCPUDynJ(lib energy.CPULibrary, asn energy.CPUAssign, d cpu.Stats, dc cache.Counts) float64 {
+	insts := float64(d.Committed)
+	pj := insts * (lib.FetchDecodePJ + lib.RenamePJ + lib.ROBPJ + lib.IQPJ) * asn.Core.Dyn
+	pj += float64(d.BPred.Lookups) * lib.BPredPJ * asn.Core.Dyn
+	pj += (float64(d.IntRegReads)*lib.IntRFReadPJ + float64(d.IntRegWrites)*lib.IntRFWritePJ +
+		float64(d.FPRegReads)*lib.FPRFReadPJ + float64(d.FPRegWrites)*lib.FPRFWritePJ) * asn.Core.Dyn
+	pj += float64(d.ALUFastOps) * lib.ALUOpPJ * asn.ALUFast.Dyn
+	pj += float64(d.ALUSlowOps) * lib.ALUOpPJ * asn.ALUSlow.Dyn
+	pj += float64(d.Ops[trace.IntMul])*lib.MulOpPJ*asn.Mul.Dyn +
+		float64(d.Ops[trace.IntDiv])*lib.DivOpPJ*asn.Mul.Dyn
+	pj += (float64(d.Ops[trace.FPAdd])*lib.FPAddOpPJ + float64(d.Ops[trace.FPMul])*lib.FPMulOpPJ +
+		float64(d.Ops[trace.FPDiv])*lib.FPDivOpPJ) * asn.FPU.Dyn
+	mem := float64(d.Ops[trace.Load] + d.Ops[trace.Store])
+	pj += mem * lib.AGUOpPJ * asn.Core.Dyn
+	pj += float64(dc.IL1.Accesses()) * lib.IL1AccessPJ * asn.Core.Dyn
+	pj += float64(dc.DL1.Accesses()+dc.DL1Slow.Accesses()) * lib.DL1AccessPJ * asn.DL1.Dyn
+	pj += float64(dc.DL1Fast.Accesses()) * lib.DL1FastAccessPJ * asn.DL1Fast.Dyn
+	pj += float64(dc.L2.Accesses()) * lib.L2AccessPJ * asn.L2.Dyn
+	pj += float64(dc.L3.Accesses()) * lib.L3AccessPJ * asn.L3.Dyn
+	pj += float64(dc.RingHops) * lib.RingHopPJ
+	return pj * 1e-12
+}
+
+// attachGPUTelemetry arms per-interval sampling on the device clock.
+func attachGPUTelemetry(o *obs.Observer, prefix string, cfg GPUConfig, dev *gpu.Device) {
+	period := o.SamplePeriod()
+	if period == 0 {
+		return
+	}
+	ss := o.TimeSeries()
+	reg := o.Reg()
+	lib := energy.DefaultGPULibrary()
+	freq := cfg.Dev.FreqGHz
+	asn := cfg.Assign
+
+	ipcS := ss.Series(prefix + "ipc")
+	memS := ss.Series(prefix + "mem_wait_frac")
+	rfS := ss.Series(prefix + "rf_cache_hit_rate")
+	enS := ss.Series(prefix + "window_dyn_j")
+	powS := ss.Series(prefix + "power_w")
+
+	var prev gpu.Stats
+	dev.SetSampler(period, func(cur gpu.Stats) {
+		t := obs.SimTS(cur.Cycles, freq)
+		dCyc := cur.Cycles - prev.Cycles
+		dWave := cur.WaveInsts - prev.WaveInsts
+		if dCyc > 0 {
+			ipcS.Append(t, float64(dWave)/float64(dCyc))
+			memS.Append(t, float64(cur.Attr.MemWait-prev.Attr.MemWait)/float64(dCyc))
+		}
+		if dReads := cur.RFReads - prev.RFReads; dReads > 0 {
+			rfS.Append(t, float64(cur.RFCacheHits-prev.RFCacheHits)/float64(dReads))
+		}
+		pj := float64(dWave) * lib.IssueCtrlPJ * asn.Other.Dyn
+		pj += float64(cur.FMAOps-prev.FMAOps) * lib.FMAOpPJ * asn.SIMD.Dyn
+		pj += float64(cur.ScalarOps-prev.ScalarOps) * lib.ScalarOpPJ * asn.Other.Dyn
+		hits := cur.RFCacheHits - prev.RFCacheHits
+		pj += float64(cur.RFReads-prev.RFReads-hits) * lib.RFReadPJ * asn.RF.Dyn
+		pj += float64(cur.RFWrites-prev.RFWrites) * lib.RFWritePJ * asn.RF.Dyn
+		pj += float64(hits+cur.RFCacheWrites-prev.RFCacheWrites) * lib.RFCacheAccessPJ
+		pj += float64(cur.VL1Reads-prev.VL1Reads) * lib.VL1AccessPJ * asn.VL1.Dyn
+		pj += float64(cur.L2Reads-prev.L2Reads) * lib.L2AccessPJ * asn.L2.Dyn
+		e := pj * 1e-12
+		enS.Append(t, e)
+		if dCyc > 0 {
+			powS.Append(t, e*freq*1e9/float64(dCyc))
+		}
+		prev = cur
+		reg.Counter("obs.gpu_samples_total").Inc()
+	})
+}

@@ -2,6 +2,12 @@ package obs
 
 import "sync"
 
+// DefaultSampleInterval is the live-telemetry sampling period in
+// simulated cycles. 16384 cycles is ~8 µs of simulated time at 2 GHz:
+// fine enough to resolve phase behaviour, coarse enough that a sample is
+// amortised over thousands of simulated instructions.
+const DefaultSampleInterval = 16384
+
 // Observer bundles the observability endpoints one simulation pass
 // writes to. Any field may be nil; a nil *Observer disables everything.
 // Simulation code threads an Observer through RunOpts and uses the
@@ -11,6 +17,12 @@ type Observer struct {
 	Trace    *TraceWriter
 	Records  *RecordSink
 	Progress *Progress
+	Series   *SeriesSet
+	Events   *EventLog
+
+	// SampleInterval is the per-interval telemetry period in simulated
+	// cycles (DefaultSampleInterval when 0).
+	SampleInterval uint64
 
 	mu    sync.Mutex
 	phase string
@@ -18,7 +30,8 @@ type Observer struct {
 
 // Enabled reports whether any endpoint is attached.
 func (o *Observer) Enabled() bool {
-	return o != nil && (o.Metrics != nil || o.Trace != nil || o.Records != nil || o.Progress != nil)
+	return o != nil && (o.Metrics != nil || o.Trace != nil || o.Records != nil ||
+		o.Progress != nil || o.Series != nil || o.Events != nil)
 }
 
 // Reg returns the metrics registry (nil when disabled).
@@ -51,6 +64,43 @@ func (o *Observer) Prog() *Progress {
 		return nil
 	}
 	return o.Progress
+}
+
+// TimeSeries returns the live series set (nil when disabled).
+func (o *Observer) TimeSeries() *SeriesSet {
+	if o == nil {
+		return nil
+	}
+	return o.Series
+}
+
+// EventSink returns the event log (nil when disabled).
+func (o *Observer) EventSink() *EventLog {
+	if o == nil {
+		return nil
+	}
+	return o.Events
+}
+
+// SamplePeriod returns the telemetry sampling period in simulated
+// cycles, or 0 when no series set is attached (samplers then stay
+// disarmed and the hot path pays nothing).
+func (o *Observer) SamplePeriod() uint64 {
+	if o == nil || o.Series == nil {
+		return 0
+	}
+	if o.SampleInterval > 0 {
+		return o.SampleInterval
+	}
+	return DefaultSampleInterval
+}
+
+// AddEvent appends an event to the log (no-op when disabled).
+func (o *Observer) AddEvent(e Event) {
+	if o == nil {
+		return
+	}
+	o.Events.Add(e)
 }
 
 // SetPhase labels subsequent run records with the experiment id.

@@ -86,6 +86,30 @@ func (p *Progress) Done() uint64 {
 	return p.done
 }
 
+// ProgressStatus is a point-in-time view of the heartbeat state, used by
+// the live-telemetry HTTP server.
+type ProgressStatus struct {
+	DoneInstructions   uint64  `json:"done_instructions"`
+	TargetInstructions uint64  `json:"target_instructions"`
+	RateKIPS           float64 `json:"rate_kips"`
+	Label              string  `json:"label,omitempty"`
+}
+
+// Status returns the current heartbeat state (zero for a nil reporter).
+func (p *Progress) Status() ProgressStatus {
+	if p == nil {
+		return ProgressStatus{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProgressStatus{
+		DoneInstructions:   p.done,
+		TargetInstructions: p.target,
+		RateKIPS:           p.rate(time.Now()),
+		Label:              p.label,
+	}
+}
+
 // Rate returns the aggregate simulation rate in KIPS.
 func (p *Progress) Rate() float64 {
 	if p == nil {
@@ -96,12 +120,18 @@ func (p *Progress) Rate() float64 {
 	return p.rate(time.Now())
 }
 
-// Finish prints a final summary line.
+// Finish prints a final summary line. If no work was ever recorded the
+// line is suppressed — a run that simulated nothing has no rate worth
+// printing.
 func (p *Progress) Finish() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
+	if p.done == 0 {
+		p.mu.Unlock()
+		return
+	}
 	line := p.line(time.Now())
 	w := p.w
 	p.mu.Unlock()

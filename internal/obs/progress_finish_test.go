@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFinishSuppressedWhenNoWork(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour)
+	p.AddTarget(1000) // a target alone is not work
+	p.Finish()
+	if got := buf.String(); got != "" {
+		t.Fatalf("Finish with zero done printed %q, want nothing", got)
+	}
+}
+
+func TestFinishPrintsAfterWork(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour)
+	p.AddTarget(1000)
+	p.Add(1000)
+	p.Finish()
+	got := buf.String()
+	if !strings.Contains(got, "(done)") {
+		t.Fatalf("Finish printed %q, want a (done) summary line", got)
+	}
+}
+
+func TestFinishNilSafe(t *testing.T) {
+	var p *Progress
+	p.Finish() // must not panic
+}
+
+func TestProgressStatus(t *testing.T) {
+	var p *Progress
+	if st := p.Status(); st != (ProgressStatus{}) {
+		t.Fatalf("nil status = %+v, want zero", st)
+	}
+	var buf bytes.Buffer
+	p = NewProgress(&buf, time.Hour)
+	p.SetLabel("fig7")
+	p.AddTarget(200)
+	p.Add(50)
+	st := p.Status()
+	if st.DoneInstructions != 50 || st.TargetInstructions != 200 || st.Label != "fig7" {
+		t.Fatalf("status = %+v, want 50/200 fig7", st)
+	}
+}

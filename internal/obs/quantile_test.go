@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	s = HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-count quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All 10 samples landed in (1, 2]: every quantile interpolates
+	// linearly across that bucket.
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{0, 10, 0, 0},
+		Sum:    15, Count: 10,
+	}
+	if got := s.Quantile(0.5); !almost(got, 1.5) {
+		t.Fatalf("p50 = %v, want 1.5", got)
+	}
+	if got := s.Quantile(0.1); !almost(got, 1.1) {
+		t.Fatalf("p10 = %v, want 1.1", got)
+	}
+	if got := s.Quantile(1); !almost(got, 2) {
+		t.Fatalf("p100 = %v, want 2", got)
+	}
+}
+
+func TestQuantileFirstBucketFromZero(t *testing.T) {
+	// The first bucket has no lower bound; interpolation starts at 0.
+	s := HistogramSnapshot{
+		Bounds: []float64{4},
+		Counts: []uint64{8, 0},
+		Count:  8,
+	}
+	if got := s.Quantile(0.5); !almost(got, 2) {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 4 samples <= 1, 4 samples in (1, 2]: p50 sits exactly on the
+	// boundary, p75 is halfway through the second bucket.
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []uint64{4, 4, 0},
+		Count:  8,
+	}
+	if got := s.Quantile(0.5); !almost(got, 1) {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	if got := s.Quantile(0.75); !almost(got, 1.5) {
+		t.Fatalf("p75 = %v, want 1.5", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Samples beyond the last bound land in the overflow bucket, which is
+	// unbounded: the estimate clamps to the last finite bound.
+	s := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []uint64{1, 1, 6},
+		Count:  8,
+	}
+	if got := s.Quantile(0.99); !almost(got, 2) {
+		t.Fatalf("p99 = %v, want 2 (last finite bound)", got)
+	}
+	if got := s.Quantile(0.125); !almost(got, 1) {
+		t.Fatalf("p12.5 = %v, want 1", got)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	s := HistogramSnapshot{
+		Bounds: []float64{10},
+		Counts: []uint64{5, 0},
+		Count:  5,
+	}
+	if got := s.Quantile(-3); !almost(got, s.Quantile(0)) {
+		t.Fatalf("q<0 = %v, want %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(7); !almost(got, s.Quantile(1)) {
+		t.Fatalf("q>1 = %v, want %v", got, s.Quantile(1))
+	}
+}
+
+func TestQuantileRealObservations(t *testing.T) {
+	h := NewRegistry().Histogram("ipc", []float64{0.5, 1, 1.5, 2, 3})
+	for _, v := range []float64{0.2, 0.7, 0.9, 1.1, 1.2, 1.4, 1.6, 2.5} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	p50 := snap.Quantile(0.5)
+	if p50 < 1 || p50 > 1.5 {
+		t.Fatalf("p50 = %v, want within (1, 1.5]", p50)
+	}
+	if p0 := snap.Quantile(0); p0 < 0 || p0 > 0.5 {
+		t.Fatalf("p0 = %v, want within [0, 0.5]", p0)
+	}
+}

@@ -113,6 +113,50 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation within the containing bucket. The first bucket
+// interpolates from 0 (all observed values are assumed non-negative, as
+// every metric in this simulator is); the overflow bucket has no upper
+// bound, so its answer is clamped to the last finite bound. An empty
+// snapshot returns 0; q is clamped to [0,1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: unbounded above, report the last finite
+			// bound (the histogram cannot resolve further).
+			return lo
+		}
+		hi := s.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	// rank beyond every count (q == 1 with trailing zero buckets).
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// registration, writes and snapshots in parallel — so `go test -race`
+// (scripts/ci.sh) proves the instruments are safe to share between the
+// simulation and the HTTP telemetry handlers.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Half the names are shared across goroutines, half private, so
+			// both first-registration races and write races are exercised.
+			shared := "shared.counter"
+			private := fmt.Sprintf("private.%d", g)
+			for i := 0; i < iters; i++ {
+				r.Counter(shared).Inc()
+				r.Counter(private).Add(2)
+				r.Gauge("shared.gauge").Set(float64(i))
+				r.Gauge(private + ".gauge").Add(1)
+				r.Histogram("shared.hist", []float64{1, 10, 100}).Observe(float64(i % 200))
+				if i%64 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	// Snapshot continuously while the writers run.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	snap := r.Snapshot()
+	if got := snap.Counters["shared.counter"]; got != goroutines*iters {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*iters)
+	}
+	for g := 0; g < goroutines; g++ {
+		name := fmt.Sprintf("private.%d", g)
+		if got := snap.Counters[name]; got != 2*iters {
+			t.Fatalf("%s = %d, want %d", name, got, 2*iters)
+		}
+	}
+	if got := snap.Histograms["shared.hist"].Count; got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+// TestSeriesConcurrent does the same for the live time series and event
+// log, which the samplers write while HTTP handlers snapshot.
+func TestSeriesConcurrent(t *testing.T) {
+	ss := NewSeriesSet(64)
+	l := NewEventLog(128)
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ss.Series("shared.ipc").Append(float64(i), 1)
+				ss.Series(fmt.Sprintf("private.%d", g)).Append(float64(i), float64(g))
+				l.Add(Event{T: float64(i), Cat: "test", Name: "e"})
+				if i%64 == 0 {
+					_ = ss.Snapshot()
+					_ = l.Events()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ss.Snapshot()["shared.ipc"].Total; got != goroutines*iters {
+		t.Fatalf("shared series total = %d, want %d", got, goroutines*iters)
+	}
+	if got := l.Total(); got != goroutines*iters {
+		t.Fatalf("event total = %d, want %d", got, goroutines*iters)
+	}
+}

@@ -1,15 +1,30 @@
 #!/bin/sh
-# ci.sh - the full local gate: formatting, vet, build, race-enabled tests.
+# ci.sh - the full local gate: formatting, vet, build, race-enabled tests,
+# and the cross-run regression diff against the committed sim-rate baseline.
 # Run from the repository root: ./scripts/ci.sh
 set -eu
 
 cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== embedded assets =="
+asset=internal/obs/dashboard.html
+if [ ! -s "$asset" ]; then
+    echo "missing or empty embedded dashboard asset: $asset" >&2
+    exit 1
+fi
+if grep -nE '[ 	]+$' "$asset" >&2; then
+    echo "trailing whitespace in $asset" >&2
     exit 1
 fi
 
@@ -21,5 +36,15 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== regression gate (hetcore diff) =="
+# Re-measure this host's simulation rate at the baseline's budget and
+# compare against the committed record. The deterministic instruction
+# counts must match exactly (default 0.1% tolerance); the rates are host
+# timing, so only a >75% slowdown fails — catching pathological
+# regressions without flaking on machine-to-machine variance.
+go build -o "$tmp/hetcore" ./cmd/hetcore
+"$tmp/hetcore" bench -instr 300000 -o "$tmp/BENCH_sim_rate.json" >/dev/null
+"$tmp/hetcore" diff -rate-tol 75 scripts/baseline/BENCH_sim_rate.json "$tmp/BENCH_sim_rate.json"
 
 echo "CI OK"
