@@ -80,6 +80,8 @@ Flags for run/all:
   -seed S              workload synthesis seed (default 1)
   -workloads a,b,c     restrict CPU workloads
   -kernels X,Y         restrict GPU kernels
+  -jobs N              concurrent simulation jobs (0 = NumCPU); output is
+                       byte-identical for any value
   -csv                 emit CSV instead of aligned text
   -json                emit JSON
   -metrics-out F       write metrics + run-record report JSON
@@ -92,6 +94,7 @@ Flags for run/all:
 Flags for bench:
   -instr N             CPU instruction budget (default 2000000)
   -seed S              workload synthesis seed
+  -jobs N              worker-pool width for the full-suite measurement
   -o F                 output file (default BENCH_sim_rate.json)
 
 Flags for diff:
@@ -145,6 +148,7 @@ func run(args []string) error {
 	sess.Seed = sim.Seed
 	opts := sim.Options()
 	opts.Obs = sess.Obs
+	opts = opts.WithSharedEngine()
 	t, err := harness.RunExperiment(e, opts)
 	if err != nil {
 		return err
@@ -171,6 +175,9 @@ func all(args []string) error {
 	sess.Seed = sim.Seed
 	opts := sim.Options()
 	opts.Obs = sess.Obs
+	// One engine for the whole evaluation: figures sharing a simulation
+	// matrix (fig7/8/9, fig10/11/12, cycles...) simulate it once.
+	opts = opts.WithSharedEngine()
 	for _, e := range harness.Experiments() {
 		sess.Experiments = append(sess.Experiments, e.ID)
 		t, err := harness.RunExperiment(e, opts)
@@ -195,10 +202,12 @@ func bench(args []string) error {
 	instr := fs.Uint64("instr", 0, "CPU instruction budget (0 = 2000000)")
 	seed := fs.Uint64("seed", 1, "workload synthesis seed")
 	out := fs.String("o", "BENCH_sim_rate.json", "output file")
+	var jobs int
+	harness.AddJobsFlag(fs, &jobs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rec, err := harness.MeasureSimRate(*instr, *seed)
+	rec, err := harness.MeasureSimRate(*instr, *seed, jobs)
 	if err != nil {
 		return err
 	}

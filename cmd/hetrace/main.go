@@ -3,6 +3,7 @@
 // Usage:
 //
 //	hetrace stats -workload barnes [-n 200000] [-seed S] [-core C]
+//	hetrace stats -workload barnes,radix,canneal [-jobs N]
 //	hetrace dump  -workload barnes -o barnes.trc [-n 200000]
 //	hetrace stats -in barnes.trc
 //
@@ -10,6 +11,9 @@
 // "stats" summarises either a live workload or a trace file: instruction
 // mix, branch behaviour, dependency structure and data footprint — the
 // quantities the profiles in internal/trace are calibrated against.
+// -workload accepts a comma-separated list; the summaries are computed
+// concurrently on the engine worker pool (-jobs) and printed in the
+// order given.
 //
 // The shared observability flags (-metrics-out, -cpuprofile,
 // -memprofile) profile trace generation itself — useful when synthesising
@@ -20,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"hetcore/internal/engine"
 	"hetcore/internal/harness"
 	"hetcore/internal/trace"
 )
@@ -49,7 +55,7 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `hetrace - workload trace inspection
 
-  hetrace stats -workload <name> [-n N] [-seed S] [-core C]
+  hetrace stats -workload <name>[,<name>...] [-n N] [-seed S] [-core C] [-jobs N]
   hetrace stats -in <file.trc>
   hetrace dump  -workload <name> -o <file.trc> [-n N] [-seed S] [-core C]
 
@@ -85,6 +91,8 @@ func stats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	workload, n, seed, core, ob := commonFlags(fs)
 	in := fs.String("in", "", "trace file to read instead of a live workload")
+	var jobs int
+	harness.AddJobsFlag(fs, &jobs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,7 +102,6 @@ func stats(args []string) error {
 	}
 	sess.Seed = *seed
 	sess.Experiments = []string{"trace-stats"}
-	var s trace.Summary
 	switch {
 	case *in != "":
 		f, err := os.Open(*in)
@@ -106,25 +113,50 @@ func stats(args []string) error {
 		if err != nil {
 			return err
 		}
-		s = trace.Summarize(r, r.Remaining())
+		s := trace.Summarize(r, r.Remaining())
 		if r.Err() != nil {
 			return r.Err()
 		}
+		printSummary(s)
+		publishSummary(sess, s)
 	case *workload != "":
-		p, err := trace.CPUWorkload(*workload)
+		// One summary job per workload, fanned out on the engine pool and
+		// printed in the order given on the command line.
+		names := strings.Split(*workload, ",")
+		eng := engine.New(jobs, sess.Obs)
+		plan := make([]engine.Job, len(names))
+		for i, name := range names {
+			p, err := trace.CPUWorkload(name)
+			if err != nil {
+				return err
+			}
+			plan[i] = engine.Job{
+				Key: engine.Key{Device: "trace", Config: "stats", Workload: p.Name,
+					Seed: *seed, Instr: *n, Variant: fmt.Sprintf("core=%d", *core)},
+				Run: func() (any, error) {
+					g, err := trace.NewGenerator(p, *seed, *core)
+					if err != nil {
+						return nil, err
+					}
+					return trace.Summarize(g, *n), nil
+				},
+			}
+		}
+		outs, err := eng.RunAll(plan)
 		if err != nil {
 			return err
 		}
-		g, err := trace.NewGenerator(p, *seed, *core)
-		if err != nil {
-			return err
+		for i, out := range outs {
+			s := out.(trace.Summary)
+			if len(names) > 1 {
+				fmt.Printf("== %s ==\n", names[i])
+			}
+			printSummary(s)
+			publishSummary(sess, s)
 		}
-		s = trace.Summarize(g, *n)
 	default:
 		return fmt.Errorf("stats needs -workload or -in")
 	}
-	printSummary(s)
-	publishSummary(sess, s)
 	return sess.Close()
 }
 

@@ -9,14 +9,16 @@
 //
 // Usage:
 //
-//	hetsweep -sweep fastsize [-workload barnes] [-instr N] [-seed S]
+//	hetsweep -sweep fastsize [-workload barnes] [-instr N] [-seed S] [-jobs N]
 //	hetsweep -sweep rfentries [-kernel Reduction]
 //
-// Each row reports time, energy and ED² normalised to the default AdvHet
-// configuration. The shared observability flags (-metrics-out,
-// -trace-out, -progress, -serve, -cpuprofile, -memprofile) record every
-// variant run; -serve addr exposes the live telemetry dashboard while
-// the sweep runs.
+// Each sweep is declared as a run plan and executed on the engine worker
+// pool (-jobs, default NumCPU); rows always print in declared order, so
+// the output is identical for any -jobs value. Each row reports time,
+// energy and ED² normalised to the default AdvHet configuration. The
+// shared observability flags (-metrics-out, -trace-out, -progress,
+// -serve, -cpuprofile, -memprofile) record every variant run; -serve
+// addr exposes the live telemetry dashboard while the sweep runs.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"hetcore/internal/engine"
 	"hetcore/internal/gpu"
 	"hetcore/internal/harness"
 	"hetcore/internal/hetsim"
@@ -31,13 +34,15 @@ import (
 	"hetcore/internal/trace"
 )
 
-// env carries the sweep inputs plus the observability session.
+// env carries the sweep inputs plus the run-plan engine and the
+// observability session.
 type env struct {
 	workload string
 	kernel   string
 	instr    uint64
 	seed     uint64
 	o        *obs.Observer
+	eng      *engine.Engine
 }
 
 func main() {
@@ -47,6 +52,8 @@ func main() {
 	kernel := fs.String("kernel", "Reduction", "GPU kernel for GPU sweeps")
 	instr := fs.Uint64("instr", 250_000, "total instructions per CPU run")
 	seed := fs.Uint64("seed", 1, "workload synthesis seed")
+	var jobs int
+	harness.AddJobsFlag(fs, &jobs)
 	ob := harness.AddObsFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -60,7 +67,8 @@ func main() {
 	sess.Seed = *seed
 	sess.Experiments = []string{"sweep-" + *sweep}
 	sess.Obs.SetPhase("sweep-" + *sweep)
-	e := env{workload: *workload, kernel: *kernel, instr: *instr, seed: *seed, o: sess.Obs}
+	e := env{workload: *workload, kernel: *kernel, instr: *instr, seed: *seed,
+		o: sess.Obs, eng: engine.New(jobs, sess.Obs)}
 
 	switch *sweep {
 	case "fastsize":
@@ -104,24 +112,49 @@ func printRows(title string, rows []row) {
 	fmt.Println("-- normalised to the first row")
 }
 
-func runCPUVariant(cfg hetsim.CPUConfig, e env) (row, error) {
+// cpuVariant is one row of a CPU sweep: a label and the mutated config.
+type cpuVariant struct {
+	label string
+	cfg   hetsim.CPUConfig
+}
+
+// runCPUSweep executes the variants as one plan on the engine pool and
+// prints the rows in declared order.
+func runCPUSweep(e env, title string, variants []cpuVariant) error {
 	prof, err := trace.CPUWorkload(e.workload)
 	if err != nil {
-		return row{}, err
+		return err
 	}
-	r, err := hetsim.RunCPU(cfg, prof, hetsim.RunOpts{
-		TotalInstructions: e.instr, Seed: e.seed, Obs: e.o})
+	jobs := make([]engine.Job, len(variants))
+	for i, v := range variants {
+		cfg := v.cfg
+		jobs[i] = engine.Job{
+			Key: engine.Key{Device: "cpu", Config: cfg.Name, Workload: prof.Name,
+				Seed: e.seed, Instr: e.instr, Variant: "sweep:" + v.label},
+			Run: func() (any, error) {
+				return hetsim.RunCPU(cfg, prof, hetsim.RunOpts{
+					TotalInstructions: e.instr, Seed: e.seed, Obs: e.o})
+			},
+		}
+	}
+	outs, err := e.eng.RunAll(jobs)
 	if err != nil {
-		return row{}, err
+		return err
 	}
-	return row{time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}, nil
+	rows := make([]row, len(variants))
+	for i, v := range variants {
+		r := outs[i].(hetsim.CPUResult)
+		rows[i] = row{label: v.label, time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}
+	}
+	printRows(title, rows)
+	return nil
 }
 
 func sweepFastSize(e env) error {
 	// The FastCache is one way's worth of the DL1, so its capacity is
 	// swept by changing the associativity: 16-way -> 2 KB fast way,
 	// 8-way -> 4 KB (default), 4-way -> 8 KB, 2-way -> 16 KB.
-	var rows []row
+	var variants []cpuVariant
 	for _, ways := range []int{8, 16, 4, 2} { // default first
 		cfg, err := hetsim.CPUConfigByName("AdvHet")
 		if err != nil {
@@ -129,101 +162,99 @@ func sweepFastSize(e env) error {
 		}
 		cfg.Hier.DL1Ways = ways
 		cfg.Hier.FastSize = cfg.Hier.DL1Size / ways
-		r, err := runCPUVariant(cfg, e)
-		if err != nil {
-			return err
-		}
-		r.label = fmt.Sprintf("fast=%dKB/%dway", cfg.Hier.FastSize/1024, ways)
-		rows = append(rows, r)
+		variants = append(variants, cpuVariant{
+			label: fmt.Sprintf("fast=%dKB/%dway", cfg.Hier.FastSize/1024, ways),
+			cfg:   cfg,
+		})
 	}
-	printRows(fmt.Sprintf("AdvHet asymmetric-DL1 fast-way size (%s)", e.workload), rows)
-	return nil
+	return runCPUSweep(e, fmt.Sprintf("AdvHet asymmetric-DL1 fast-way size (%s)", e.workload), variants)
 }
 
 func sweepSteerWindow(e env) error {
-	var rows []row
+	var variants []cpuVariant
 	for _, w := range []int{4, 1, 2, 8} { // default (issue width) first
 		cfg, err := hetsim.CPUConfigByName("AdvHet")
 		if err != nil {
 			return err
 		}
 		cfg.Core.SteerWindow = w
-		r, err := runCPUVariant(cfg, e)
-		if err != nil {
-			return err
-		}
-		r.label = fmt.Sprintf("window=%d", w)
-		rows = append(rows, r)
+		variants = append(variants, cpuVariant{label: fmt.Sprintf("window=%d", w), cfg: cfg})
 	}
-	printRows(fmt.Sprintf("AdvHet dual-speed ALU steering window (%s)", e.workload), rows)
-	return nil
+	return runCPUSweep(e, fmt.Sprintf("AdvHet dual-speed ALU steering window (%s)", e.workload), variants)
 }
 
 func sweepPrefetch(e env) error {
-	var rows []row
+	var variants []cpuVariant
 	for _, on := range []bool{true, false} {
 		cfg, err := hetsim.CPUConfigByName("AdvHet")
 		if err != nil {
 			return err
 		}
 		cfg.Hier.NextLinePrefetch = on
-		r, err := runCPUVariant(cfg, e)
-		if err != nil {
-			return err
-		}
-		r.label = fmt.Sprintf("prefetch=%v", on)
-		rows = append(rows, r)
+		variants = append(variants, cpuVariant{label: fmt.Sprintf("prefetch=%v", on), cfg: cfg})
 	}
-	printRows(fmt.Sprintf("Next-line prefetcher (%s)", e.workload), rows)
+	return runCPUSweep(e, fmt.Sprintf("Next-line prefetcher (%s)", e.workload), variants)
+}
+
+// gpuVariant is one row of a GPU sweep.
+type gpuVariant struct {
+	label string
+	cfg   hetsim.GPUConfig
+}
+
+// runGPUSweep executes the variants as one plan on the engine pool and
+// prints the rows in declared order.
+func runGPUSweep(e env, title string, variants []gpuVariant) error {
+	k, err := gpu.KernelByName(e.kernel)
+	if err != nil {
+		return err
+	}
+	jobs := make([]engine.Job, len(variants))
+	for i, v := range variants {
+		cfg := v.cfg
+		jobs[i] = engine.Job{
+			Key: engine.Key{Device: "gpu", Config: cfg.Name, Workload: k.Name,
+				Seed: e.seed, Variant: "sweep:" + v.label},
+			Run: func() (any, error) {
+				return hetsim.RunGPUObserved(cfg, k, e.seed, e.o)
+			},
+		}
+	}
+	outs, err := e.eng.RunAll(jobs)
+	if err != nil {
+		return err
+	}
+	rows := make([]row, len(variants))
+	for i, v := range variants {
+		r := outs[i].(hetsim.GPUResult)
+		rows[i] = row{label: v.label, time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}
+	}
+	printRows(title, rows)
 	return nil
 }
 
-func runGPUVariant(cfg hetsim.GPUConfig, e env) (row, error) {
-	k, err := gpu.KernelByName(e.kernel)
-	if err != nil {
-		return row{}, err
-	}
-	r, err := hetsim.RunGPUObserved(cfg, k, e.seed, e.o)
-	if err != nil {
-		return row{}, err
-	}
-	return row{time: r.TimeSec, energy: r.Energy.Total(), ed2: r.ED2()}, nil
-}
-
 func sweepRFEntries(e env) error {
-	var rows []row
+	var variants []gpuVariant
 	for _, n := range []int{6, 2, 4, 8, 12} { // default first
 		cfg, err := hetsim.GPUConfigByName("AdvHet")
 		if err != nil {
 			return err
 		}
 		cfg.Dev.RFCacheEntries = n
-		r, err := runGPUVariant(cfg, e)
-		if err != nil {
-			return err
-		}
-		r.label = fmt.Sprintf("entries=%d", n)
-		rows = append(rows, r)
+		variants = append(variants, gpuVariant{label: fmt.Sprintf("entries=%d", n), cfg: cfg})
 	}
-	printRows(fmt.Sprintf("AdvHet GPU RF-cache entries per thread (%s)", e.kernel), rows)
-	return nil
+	return runGPUSweep(e, fmt.Sprintf("AdvHet GPU RF-cache entries per thread (%s)", e.kernel), variants)
 }
 
 func sweepWaves(e env) error {
-	var rows []row
+	var variants []gpuVariant
 	for _, n := range []int{6, 2, 4, 10, 16} { // default first
 		cfg, err := hetsim.GPUConfigByName("AdvHet")
 		if err != nil {
 			return err
 		}
 		cfg.Dev.MaxWavesPerCU = n
-		r, err := runGPUVariant(cfg, e)
-		if err != nil {
-			return err
-		}
-		r.label = fmt.Sprintf("waves=%d", n)
-		rows = append(rows, r)
+		variants = append(variants, gpuVariant{label: fmt.Sprintf("waves=%d", n), cfg: cfg})
 	}
-	printRows(fmt.Sprintf("GPU resident wavefronts per CU (%s)", e.kernel), rows)
-	return nil
+	return runGPUSweep(e, fmt.Sprintf("GPU resident wavefronts per CU (%s)", e.kernel), variants)
 }

@@ -1,0 +1,192 @@
+// Package engine is the deterministic run-plan scheduler behind the
+// harness: an experiment declares its simulation matrix as jobs keyed by
+// (device, config, workload, seed, instr[, variant]), and the engine
+// executes them on a bounded worker pool while a content-keyed cache
+// guarantees each distinct key simulates exactly once per engine. Figures
+// that share a matrix (fig7/8/9 on the CPU side, fig10/11/12 on the GPU
+// side) therefore share one underlying suite instead of re-simulating it
+// per figure.
+//
+// Determinism contract: a job function must be a pure function of its
+// key — it builds all mutable simulation state (cores, hierarchies,
+// RNGs) itself and only writes shared state through the mutex-guarded
+// observability endpoints. Under that contract the result of every plan
+// is independent of the worker count, so -jobs=1 and -jobs=N produce
+// identical tables.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetcore/internal/obs"
+)
+
+// Key identifies one simulation job for caching. Two jobs with equal
+// keys must compute identical results; the engine will run only the
+// first and serve the second from cache.
+type Key struct {
+	// Device is the simulation kind: "cpu", "gpu", "cmp", "trace"...
+	Device string
+	// Config names the architecture configuration (e.g. "AdvHet").
+	Config string
+	// Workload names the CPU workload, GPU kernel or trace profile.
+	Workload string
+	// Seed is the workload-synthesis seed.
+	Seed uint64
+	// Instr is the instruction budget (0 = the simulator default).
+	Instr uint64
+	// Variant discriminates runs that tweak the named config beyond the
+	// fields above (a DVFS operating point, a sweep value). Empty for
+	// stock runs, so suites and experiments share cache entries.
+	Variant string
+}
+
+// String renders the key as a stable, human-readable identifier (used
+// for trace slices and error messages).
+func (k Key) String() string {
+	s := fmt.Sprintf("%s/%s/%s/s%d/i%d", k.Device, k.Config, k.Workload, k.Seed, k.Instr)
+	if k.Variant != "" {
+		s += "/" + k.Variant
+	}
+	return s
+}
+
+// Job pairs a key with the function that computes its result.
+type Job struct {
+	Key Key
+	Run func() (any, error)
+}
+
+// entry is one cache slot: done closes when val/err are final.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Engine is a worker pool plus a memoizing result cache. The zero value
+// is not usable; construct with New. An Engine is safe for concurrent
+// use and is typically shared across every experiment of one process so
+// the cache spans figures.
+type Engine struct {
+	obs   *obs.Observer
+	lanes chan int // worker slots; the value is the lane id
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	jobsRun   atomic.Uint64
+	cacheHits atomic.Uint64
+
+	traceOnce sync.Once
+	tracePID  int64
+	start     time.Time
+}
+
+// New returns an engine with the given worker count (<= 0 means
+// runtime.NumCPU()). o receives the engine.jobs_total / engine.cache_hits
+// counters and per-job trace slices; nil disables both.
+func New(workers int, o *obs.Observer) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &Engine{
+		obs:     o,
+		lanes:   make(chan int, workers),
+		entries: make(map[Key]*entry),
+		start:   time.Now(),
+	}
+	for i := 0; i < workers; i++ {
+		e.lanes <- i
+	}
+	return e
+}
+
+// Workers returns the worker-pool width.
+func (e *Engine) Workers() int { return cap(e.lanes) }
+
+// JobsRun returns how many jobs actually executed (cache misses).
+func (e *Engine) JobsRun() uint64 { return e.jobsRun.Load() }
+
+// CacheHits returns how many Do calls were served from the cache.
+func (e *Engine) CacheHits() uint64 { return e.cacheHits.Load() }
+
+// Do returns the memoized result for key, executing fn at most once per
+// key per engine. The first caller of a key takes a worker lane and
+// runs; concurrent callers of the same key block until it completes and
+// then share its result (errors are cached too — the simulators are
+// deterministic, so retrying cannot succeed). fn must not call back
+// into the same engine: nested jobs could exhaust the lane pool.
+func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
+	e.mu.Lock()
+	if ent, ok := e.entries[key]; ok {
+		e.mu.Unlock()
+		<-ent.done
+		e.cacheHits.Add(1)
+		if reg := e.obs.Reg(); reg != nil {
+			reg.Counter("engine.cache_hits").Inc()
+		}
+		return ent.val, ent.err
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.entries[key] = ent
+	e.mu.Unlock()
+
+	lane := <-e.lanes
+	wallStart := time.Now()
+	ent.val, ent.err = fn()
+	wallDur := time.Since(wallStart)
+	e.lanes <- lane
+	close(ent.done)
+
+	e.jobsRun.Add(1)
+	if reg := e.obs.Reg(); reg != nil {
+		reg.Counter("engine.jobs_total").Inc()
+		if ent.err != nil {
+			reg.Counter("engine.jobs_failed").Inc()
+		}
+	}
+	if tr := e.obs.Tracer(); tr.Enabled() {
+		e.traceOnce.Do(func() {
+			e.tracePID = tr.NextPID()
+			tr.ProcessName(e.tracePID, "engine")
+			for i := 0; i < cap(e.lanes); i++ {
+				tr.ThreadName(e.tracePID, int64(i), fmt.Sprintf("lane %d", i))
+			}
+		})
+		tr.Complete(e.tracePID, int64(lane), key.String(), "engine",
+			float64(wallStart.Sub(e.start).Nanoseconds())/1e3,
+			float64(wallDur.Nanoseconds())/1e3,
+			map[string]any{"device": key.Device, "config": key.Config,
+				"workload": key.Workload})
+	}
+	return ent.val, ent.err
+}
+
+// RunAll executes a plan: every job runs concurrently on the worker
+// pool (memoized through Do) and the results come back in job order.
+// On failure the error of the lowest-indexed failing job is returned,
+// so the reported error does not depend on scheduling.
+func (e *Engine) RunAll(jobs []Job) ([]any, error) {
+	out := make([]any, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = e.Do(jobs[i].Key, jobs[i].Run)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", jobs[i].Key, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hetcore/internal/obs"
+)
+
+func key(i int) Key {
+	return Key{Device: "cpu", Config: fmt.Sprintf("cfg%d", i), Workload: "w", Seed: 1}
+}
+
+// TestMemoization: each distinct key executes exactly once, duplicates
+// are cache hits, and results are shared.
+func TestMemoization(t *testing.T) {
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	e := New(4, o)
+	var calls atomic.Uint64
+	jobs := make([]Job, 0, 30)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			i := i
+			jobs = append(jobs, Job{Key: key(i), Run: func() (any, error) {
+				calls.Add(1)
+				return i * i, nil
+			}})
+		}
+	}
+	out, err := e.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 10 {
+		t.Errorf("executed %d jobs, want 10 (one per distinct key)", calls.Load())
+	}
+	if e.JobsRun() != 10 || e.CacheHits() != 20 {
+		t.Errorf("JobsRun=%d CacheHits=%d, want 10/20", e.JobsRun(), e.CacheHits())
+	}
+	if got := o.Reg().Counter("engine.jobs_total").Value(); got != 10 {
+		t.Errorf("engine.jobs_total = %d, want 10", got)
+	}
+	if got := o.Reg().Counter("engine.cache_hits").Value(); got != 20 {
+		t.Errorf("engine.cache_hits = %d, want 20", got)
+	}
+	for i, v := range out {
+		want := (i % 10) * (i % 10)
+		if v.(int) != want {
+			t.Fatalf("out[%d] = %v, want %d", i, v, want)
+		}
+	}
+}
+
+// TestResultOrderIndependentOfWorkers: RunAll returns results in job
+// order regardless of pool width.
+func TestResultOrderIndependentOfWorkers(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		e := New(workers, nil)
+		jobs := make([]Job, 50)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{Key: key(i), Run: func() (any, error) { return i, nil }}
+		}
+		out, err := e.RunAll(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v.(int) != i {
+				t.Fatalf("workers=%d: out[%d] = %v", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestDeterministicError: the lowest-indexed failing job's error is
+// reported, whatever the scheduling, and errors are cached.
+func TestDeterministicError(t *testing.T) {
+	boom3 := errors.New("boom3")
+	boom7 := errors.New("boom7")
+	for trial := 0; trial < 10; trial++ {
+		e := New(8, nil)
+		jobs := make([]Job, 20)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{Key: key(i), Run: func() (any, error) {
+				switch i {
+				case 3:
+					return nil, boom3
+				case 7:
+					return nil, boom7
+				}
+				return i, nil
+			}}
+		}
+		_, err := e.RunAll(jobs)
+		if !errors.Is(err, boom3) {
+			t.Fatalf("trial %d: err = %v, want boom3", trial, err)
+		}
+	}
+	// Errors are cached: a second Do for the failing key must not rerun.
+	e := New(1, nil)
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, boom3 }
+	if _, err := e.Do(key(3), fail); !errors.Is(err, boom3) {
+		t.Fatal("first Do must fail")
+	}
+	if _, err := e.Do(key(3), fail); !errors.Is(err, boom3) {
+		t.Fatal("second Do must return the cached error")
+	}
+	if calls != 1 {
+		t.Errorf("failing job ran %d times, want 1", calls)
+	}
+}
+
+// TestSingleFlight: concurrent Do calls on one key run it once; the
+// waiters all observe the same value.
+func TestSingleFlight(t *testing.T) {
+	e := New(4, nil)
+	var calls atomic.Uint64
+	var wg sync.WaitGroup
+	vals := make([]any, 32)
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], _ = e.Do(key(0), func() (any, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("single-flight ran %d times", calls.Load())
+	}
+	for i, v := range vals {
+		if v.(int) != 42 {
+			t.Fatalf("vals[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestVariantKeysDistinct: the Variant field separates cache entries.
+func TestVariantKeysDistinct(t *testing.T) {
+	e := New(2, nil)
+	k := key(0)
+	kv := k
+	kv.Variant = "dvfs:2.5GHz"
+	a, _ := e.Do(k, func() (any, error) { return "stock", nil })
+	b, _ := e.Do(kv, func() (any, error) { return "boosted", nil })
+	if a.(string) != "stock" || b.(string) != "boosted" {
+		t.Errorf("variant keys collided: %v / %v", a, b)
+	}
+	if e.JobsRun() != 2 {
+		t.Errorf("JobsRun = %d, want 2", e.JobsRun())
+	}
+}
+
+// TestTraceSlices: with a tracer attached, each executed job emits a
+// slice on a worker-lane tid under the engine process.
+func TestTraceSlices(t *testing.T) {
+	o := &obs.Observer{Trace: obs.NewTraceWriter()}
+	e := New(2, o)
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Key: key(i), Run: func() (any, error) { return i, nil }}
+	}
+	if _, err := e.RunAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// 1 process_name + 2 thread_name metadata events + 4 job slices.
+	if got := o.Trace.Len(); got != 7 {
+		t.Errorf("trace has %d events, want 7", got)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Device: "cpu", Config: "AdvHet", Workload: "barnes", Seed: 1, Instr: 400000}
+	if got := k.String(); got != "cpu/AdvHet/barnes/s1/i400000" {
+		t.Errorf("Key.String() = %q", got)
+	}
+	k.Variant = "dvfs:BoostFreq-2.5GHz"
+	if got := k.String(); got != "cpu/AdvHet/barnes/s1/i400000/dvfs:BoostFreq-2.5GHz" {
+		t.Errorf("Key.String() = %q", got)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"hetcore/internal/engine"
 	"hetcore/internal/gpu"
 	"hetcore/internal/hetsim"
 	"hetcore/internal/trace"
@@ -10,98 +11,98 @@ import (
 // extension points the paper's discussion sections sketch. One row per
 // mechanism; the value is the time (and energy) of the variant relative
 // to its baseline, chosen so that <1 means the mechanism helps.
+//
+// Every (config, workload) pair below is declared once in a single run
+// plan — shared baselines (e.g. AdvHet/blackscholes) simulate once, and
+// stock keys reuse results an earlier experiment already cached.
 func Ablations(opts Options) (Table, error) {
-	ro := opts.runOpts()
-
-	cpuPair := func(aName, bName, workload string) (a, b hetsim.CPUResult, err error) {
-		prof, err := trace.CPUWorkload(workload)
-		if err != nil {
-			return a, b, err
+	type ref struct{ device, config, workload string }
+	var jobs []engine.Job
+	index := make(map[ref]int)
+	cpuRun := func(config, workload string) (ref, error) {
+		r := ref{"cpu", config, workload}
+		if _, ok := index[r]; !ok {
+			cfg, err := hetsim.CPUConfigByName(config)
+			if err != nil {
+				return r, err
+			}
+			prof, err := trace.CPUWorkload(workload)
+			if err != nil {
+				return r, err
+			}
+			index[r] = len(jobs)
+			jobs = append(jobs, opts.cpuJob(cfg, prof))
 		}
-		ca, err := hetsim.CPUConfigByName(aName)
-		if err != nil {
-			return a, b, err
-		}
-		cb, err := hetsim.CPUConfigByName(bName)
-		if err != nil {
-			return a, b, err
-		}
-		if a, err = hetsim.RunCPU(ca, prof, ro); err != nil {
-			return a, b, err
-		}
-		b, err = hetsim.RunCPU(cb, prof, ro)
-		return a, b, err
+		return r, nil
 	}
-	gpuPair := func(aName, bName, kernel string) (a, b hetsim.GPUResult, err error) {
-		k, err := gpu.KernelByName(kernel)
-		if err != nil {
-			return a, b, err
+	gpuRun := func(config, kernel string) (ref, error) {
+		r := ref{"gpu", config, kernel}
+		if _, ok := index[r]; !ok {
+			cfg, err := hetsim.GPUConfigByName(config)
+			if err != nil {
+				return r, err
+			}
+			k, err := gpu.KernelByName(kernel)
+			if err != nil {
+				return r, err
+			}
+			index[r] = len(jobs)
+			jobs = append(jobs, opts.gpuJob(cfg, k))
 		}
-		ca, err := hetsim.GPUConfigByName(aName)
-		if err != nil {
-			return a, b, err
-		}
-		cb, err := hetsim.GPUConfigByName(bName)
-		if err != nil {
-			return a, b, err
-		}
-		if a, err = hetsim.RunGPUObserved(ca, k, opts.Seed, opts.Obs); err != nil {
-			return a, b, err
-		}
-		b, err = hetsim.RunGPUObserved(cb, k, opts.Seed, opts.Obs)
-		return a, b, err
+		return r, nil
 	}
 
-	var rows []Row
+	// Each mechanism is a (baseline, variant, workload) triple.
+	mechanisms := []struct {
+		label              string
+		device             string
+		base, vari, onWork string
+	}{
+		{"dual-speed ALU (radix)", "cpu", "BaseHet-Enh", "BaseHet-Split", "radix"},
+		{"asymmetric DL1 (canneal)", "cpu", "BaseHet-Split", "AdvHet", "canneal"},
+		{"larger ROB & FP-RF (blackscholes)", "cpu", "BaseHet", "BaseHet-Enh", "blackscholes"},
+		{"CMA-multiplier FPU (blackscholes)", "cpu", "AdvHet", "AdvHet-CMA", "blackscholes"},
+		{"GPU register file cache (Reduction)", "gpu", "BaseHet", "AdvHet", "Reduction"},
+		{"partitioned RF vs RF cache (MatrixMultiplication)", "gpu", "AdvHet", "AdvHet-PartRF", "MatrixMultiplication"},
+	}
+	type pair struct{ base, vari ref }
+	pairs := make([]pair, len(mechanisms))
+	for i, m := range mechanisms {
+		run := cpuRun
+		if m.device == "gpu" {
+			run = gpuRun
+		}
+		b, err := run(m.base, m.onWork)
+		if err != nil {
+			return Table{}, err
+		}
+		v, err := run(m.vari, m.onWork)
+		if err != nil {
+			return Table{}, err
+		}
+		pairs[i] = pair{base: b, vari: v}
+	}
 
-	// Dual-speed ALU: BaseHet-Split vs BaseHet-Enh on integer-heavy code.
-	enh, split, err := cpuPair("BaseHet-Enh", "BaseHet-Split", "radix")
+	outs, err := opts.engine().RunAll(jobs)
 	if err != nil {
 		return Table{}, err
 	}
-	rows = append(rows, Row{Label: "dual-speed ALU (radix)",
-		Values: []float64{split.TimeSec / enh.TimeSec, split.Energy.Total() / enh.Energy.Total()}})
-
-	// Asymmetric DL1: AdvHet vs BaseHet-Split on load-use-heavy code.
-	split2, adv, err := cpuPair("BaseHet-Split", "AdvHet", "canneal")
-	if err != nil {
-		return Table{}, err
+	timeEnergy := func(r ref) (timeSec, energyJ float64) {
+		switch res := outs[index[r]].(type) {
+		case hetsim.CPUResult:
+			return res.TimeSec, res.Energy.Total()
+		case hetsim.GPUResult:
+			return res.TimeSec, res.Energy.Total()
+		}
+		return 0, 0
 	}
-	rows = append(rows, Row{Label: "asymmetric DL1 (canneal)",
-		Values: []float64{adv.TimeSec / split2.TimeSec, adv.Energy.Total() / split2.Energy.Total()}})
 
-	// Larger ROB/FP-RF: BaseHet-Enh vs BaseHet on FP-heavy code.
-	het, enh2, err := cpuPair("BaseHet", "BaseHet-Enh", "blackscholes")
-	if err != nil {
-		return Table{}, err
+	rows := make([]Row, len(mechanisms))
+	for i, m := range mechanisms {
+		bt, be := timeEnergy(pairs[i].base)
+		vt, ve := timeEnergy(pairs[i].vari)
+		rows[i] = Row{Label: m.label, Values: []float64{vt / bt, ve / be}}
 	}
-	rows = append(rows, Row{Label: "larger ROB & FP-RF (blackscholes)",
-		Values: []float64{enh2.TimeSec / het.TimeSec, enh2.Energy.Total() / het.Energy.Total()}})
-
-	// CMA FPU variant (§IV-C4): AdvHet-CMA vs AdvHet.
-	advB, cma, err := cpuPair("AdvHet", "AdvHet-CMA", "blackscholes")
-	if err != nil {
-		return Table{}, err
-	}
-	rows = append(rows, Row{Label: "CMA-multiplier FPU (blackscholes)",
-		Values: []float64{cma.TimeSec / advB.TimeSec, cma.Energy.Total() / advB.Energy.Total()}})
-
-	// GPU RF cache: AdvHet vs BaseHet.
-	ghet, gadv, err := gpuPair("BaseHet", "AdvHet", "Reduction")
-	if err != nil {
-		return Table{}, err
-	}
-	rows = append(rows, Row{Label: "GPU register file cache (Reduction)",
-		Values: []float64{gadv.TimeSec / ghet.TimeSec, gadv.Energy.Total() / ghet.Energy.Total()}})
-
-	// Partitioned RF vs RF cache.
-	gadv2, gpart, err := gpuPair("AdvHet", "AdvHet-PartRF", "MatrixMultiplication")
-	if err != nil {
-		return Table{}, err
-	}
-	rows = append(rows, Row{Label: "partitioned RF vs RF cache (MatrixMultiplication)",
-		Values: []float64{gpart.TimeSec / gadv2.TimeSec, gpart.Energy.Total() / gadv2.Energy.Total()}})
-
 	return Table{
 		ID:      "ablations",
 		Title:   "Per-mechanism ablations around the AdvHet design point",

@@ -29,13 +29,30 @@ type BenchRecord struct {
 	GPUWaveInsts       uint64  `json:"gpu_wave_insts"`
 	GPUWallSeconds     float64 `json:"gpu_wall_seconds"`
 	GPUWaveInstsPerSec float64 `json:"gpu_wave_insts_per_sec"`
+
+	// Full-suite figures: the fig7 configuration matrix over a fixed
+	// workload subset executed as one run plan on the engine worker
+	// pool. SuiteRuns is deterministic; the wall time tracks the
+	// parallel speedup on this host (0 fields = record predates the
+	// engine and is skipped by diff).
+	SuiteJobs        int     `json:"suite_jobs,omitempty"`
+	SuiteRuns        int     `json:"suite_runs,omitempty"`
+	SuiteWallSeconds float64 `json:"suite_wall_seconds,omitempty"`
+	SuiteRunsPerSec  float64 `json:"suite_runs_per_sec,omitempty"`
 }
 
-// MeasureSimRate times one single-core CPU run (BaseCMOS, barnes) and one
-// GPU kernel (BaseCMOS, MatrixMultiplication) and reports simulated
-// instructions per wall second. instr is the CPU instruction budget
+// benchSuiteWorkloads is the CPU workload subset of the full-suite
+// benchmark: a cache-friendly, a branchy, an FP-heavy and a memory-bound
+// profile.
+var benchSuiteWorkloads = []string{"barnes", "radix", "blackscholes", "canneal"}
+
+// MeasureSimRate times one single-core CPU run (BaseCMOS, barnes), one
+// GPU kernel (BaseCMOS, MatrixMultiplication) and the fig7 configuration
+// matrix over a four-workload subset run as a parallel plan (jobs
+// workers; 0 = NumCPU), and reports simulated instructions per wall
+// second plus the suite wall time. instr is the CPU instruction budget
 // (0 = 2M, large enough to amortise setup).
-func MeasureSimRate(instr, seed uint64) (BenchRecord, error) {
+func MeasureSimRate(instr, seed uint64, jobs int) (BenchRecord, error) {
 	if instr == 0 {
 		instr = 2_000_000
 	}
@@ -85,6 +102,27 @@ func MeasureSimRate(instr, seed uint64) (BenchRecord, error) {
 	rec.GPUWallSeconds = gwall
 	if gwall > 0 {
 		rec.GPUWaveInstsPerSec = float64(gres.WaveInsts) / gwall
+	}
+
+	// Full-suite wall time: the 6-config fig7 matrix over the workload
+	// subset, executed through the run-plan engine so the measured
+	// number tracks the parallel speedup -jobs delivers on this host.
+	// A smaller per-run budget keeps the 6×4 matrix comparable in cost
+	// to the single runs above.
+	suiteOpts := Options{
+		Instructions: instr / 4, Seed: seed,
+		Workloads: benchSuiteWorkloads, Jobs: jobs,
+	}.WithSharedEngine()
+	start = time.Now()
+	if _, _, err := cpuSuite(fig7Configs, suiteOpts); err != nil {
+		return rec, err
+	}
+	swall := time.Since(start).Seconds()
+	rec.SuiteJobs = suiteOpts.Engine.Workers()
+	rec.SuiteRuns = int(suiteOpts.Engine.JobsRun())
+	rec.SuiteWallSeconds = swall
+	if swall > 0 {
+		rec.SuiteRunsPerSec = float64(rec.SuiteRuns) / swall
 	}
 	return rec, nil
 }

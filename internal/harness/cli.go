@@ -19,6 +19,7 @@ type SimFlags struct {
 	Seed         uint64
 	Workloads    string
 	Kernels      string
+	Jobs         int
 }
 
 // AddSimFlags registers the shared simulation flags on fs.
@@ -28,12 +29,18 @@ func AddSimFlags(fs *flag.FlagSet) *SimFlags {
 	fs.Uint64Var(&s.Seed, "seed", 1, "workload synthesis seed")
 	fs.StringVar(&s.Workloads, "workloads", "", "comma-separated CPU workload subset")
 	fs.StringVar(&s.Kernels, "kernels", "", "comma-separated GPU kernel subset")
+	AddJobsFlag(fs, &s.Jobs)
 	return &s
+}
+
+// AddJobsFlag registers the shared worker-pool flag on fs.
+func AddJobsFlag(fs *flag.FlagSet, jobs *int) {
+	fs.IntVar(jobs, "jobs", 0, "concurrent simulation jobs (0 = NumCPU); results are identical for any value")
 }
 
 // Options converts the parsed flags into experiment options.
 func (s *SimFlags) Options() Options {
-	opts := Options{Instructions: s.Instructions, Seed: s.Seed}
+	opts := Options{Instructions: s.Instructions, Seed: s.Seed, Jobs: s.Jobs}
 	if s.Workloads != "" {
 		opts.Workloads = strings.Split(s.Workloads, ",")
 	}
@@ -195,9 +202,12 @@ func (s *ObsSession) Close() error {
 	return nil
 }
 
-// Report assembles the manifest, metrics snapshot and run records.
+// Report assembles the manifest, metrics snapshot and run records. Runs
+// are sorted into the canonical order so reports do not depend on the
+// completion order of the -jobs worker pool.
 func (s *ObsSession) Report() obs.Report {
 	runs := s.Obs.Sink().Records()
+	obs.SortRecords(runs)
 	wall := time.Since(s.start).Seconds()
 	var insts uint64
 	for _, r := range runs {

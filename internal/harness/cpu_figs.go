@@ -5,6 +5,7 @@ import (
 
 	"hetcore/internal/device"
 	"hetcore/internal/energy"
+	"hetcore/internal/engine"
 	"hetcore/internal/governor"
 	"hetcore/internal/hetsim"
 	"hetcore/internal/obs"
@@ -25,10 +26,56 @@ type Options struct {
 	// Obs, when non-nil, collects metrics, trace events, run records and
 	// progress from every simulation an experiment performs.
 	Obs *obs.Observer
+	// Jobs is the worker-pool width for run plans (0 = NumCPU). Only
+	// consulted when Engine is nil.
+	Jobs int
+	// Engine, when non-nil, executes every simulation of the experiment
+	// matrix. Sharing one engine across experiments (WithSharedEngine,
+	// or the CLIs' per-invocation engine) makes each distinct
+	// (device, config, workload, seed, instr) key simulate exactly once
+	// per process — fig7/8/9 then share one CPU suite. Nil builds a
+	// private engine per experiment call.
+	Engine *engine.Engine
+}
+
+// WithSharedEngine returns a copy of o carrying a fresh engine built
+// from o.Jobs and o.Obs, to be shared by every experiment run with the
+// returned options.
+func (o Options) WithSharedEngine() Options {
+	o.Engine = engine.New(o.Jobs, o.Obs)
+	return o
+}
+
+// engine returns the shared engine, or a private one for this call.
+func (o Options) engine() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return engine.New(o.Jobs, o.Obs)
 }
 
 func (o Options) runOpts() hetsim.RunOpts {
 	return hetsim.RunOpts{TotalInstructions: o.Instructions, Seed: o.Seed, Obs: o.Obs}
+}
+
+// cpuKey is the cache key of a stock CPU run under these options.
+func (o Options) cpuKey(config, workload string) engine.Key {
+	return engine.Key{Device: "cpu", Config: config, Workload: workload,
+		Seed: o.Seed, Instr: o.Instructions}
+}
+
+// cpuJob declares one stock CPU run as an engine job.
+func (o Options) cpuJob(cfg hetsim.CPUConfig, prof trace.Profile) engine.Job {
+	return engine.Job{
+		Key: o.cpuKey(cfg.Name, prof.Name),
+		Run: func() (any, error) {
+			res, err := hetsim.RunCPU(cfg, prof, o.runOpts())
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", cfg.Name, prof.Name, err)
+			}
+			return res, nil
+		},
+	}
 }
 
 func (o Options) cpuWorkloads() ([]trace.Profile, error) {
@@ -50,27 +97,40 @@ func (o Options) cpuWorkloads() ([]trace.Profile, error) {
 var fig7Configs = []string{"BaseCMOS", "BaseCMOS-Enh", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X"}
 
 // cpuSuite runs a set of configurations over the workloads and returns
-// results[config][workload].
+// results[config][workload]. The configs × workloads matrix is declared
+// as a run plan: jobs execute concurrently on the engine's worker pool,
+// and keys already simulated by an earlier experiment sharing the same
+// engine come from the cache.
 func cpuSuite(configs []string, opts Options) (map[string]map[string]hetsim.CPUResult, []string, error) {
 	profiles, err := opts.cpuWorkloads()
 	if err != nil {
 		return nil, nil, err
 	}
 	names := make([]string, len(profiles))
-	results := make(map[string]map[string]hetsim.CPUResult, len(configs))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	jobs := make([]engine.Job, 0, len(configs)*len(profiles))
 	for _, cn := range configs {
 		cfg, err := hetsim.CPUConfigByName(cn)
 		if err != nil {
 			return nil, nil, err
 		}
+		for _, p := range profiles {
+			jobs = append(jobs, opts.cpuJob(cfg, p))
+		}
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make(map[string]map[string]hetsim.CPUResult, len(configs))
+	i := 0
+	for _, cn := range configs {
 		results[cn] = make(map[string]hetsim.CPUResult, len(profiles))
-		for i, p := range profiles {
-			names[i] = p.Name
-			res, err := hetsim.RunCPU(cfg, p, opts.runOpts())
-			if err != nil {
-				return nil, nil, fmt.Errorf("harness: %s/%s: %w", cn, p.Name, err)
-			}
-			results[cn][p.Name] = res
+		for _, p := range profiles {
+			results[cn][p.Name] = outs[i].(hetsim.CPUResult)
+			i++
 		}
 	}
 	return results, names, nil
@@ -244,11 +304,13 @@ func Fig14(opts Options) (Table, error) {
 		tfetAdj: energy.Scale{Dyn: ts.Dynamic, Leak: ts.Leakage}})
 
 	configs := []string{"BaseCMOS", "AdvHet"}
-	var baseline float64
-	rows := make([]Row, 0, len(points))
+
+	// Declare the points × configs × workloads matrix as one plan. The
+	// Variant key field carries the DVFS operating point, so these runs
+	// never collide with the stock fig7/8/9 cache entries.
+	var jobs []engine.Job
 	for _, pt := range points {
-		vals := make([]float64, len(configs))
-		for ci, cn := range configs {
+		for _, cn := range configs {
 			cfg, err := hetsim.CPUConfigByName(cn)
 			if err != nil {
 				return Table{}, err
@@ -258,13 +320,36 @@ func Fig14(opts Options) (Table, error) {
 			ro := opts.runOpts()
 			ro.CMOSAdjust = pt.cmosAdj
 			ro.TFETAdjust = pt.tfetAdj
+			for _, p := range profiles {
+				cfg, p, ro := cfg, p, ro
+				key := opts.cpuKey(cfg.Name, p.Name)
+				key.Variant = "dvfs:" + pt.label
+				jobs = append(jobs, engine.Job{Key: key, Run: func() (any, error) {
+					res, err := hetsim.RunCPU(cfg, p, ro)
+					if err != nil {
+						return nil, fmt.Errorf("harness: %s/%s: %w", cfg.Name, p.Name, err)
+					}
+					return res, nil
+				}})
+			}
+		}
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
+	var baseline float64
+	rows := make([]Row, 0, len(points))
+	ji := 0
+	for _, pt := range points {
+		vals := make([]float64, len(configs))
+		for ci, cn := range configs {
 			var total float64
 			var last hetsim.CPUResult
-			for _, p := range profiles {
-				res, err := hetsim.RunCPU(cfg, p, ro)
-				if err != nil {
-					return Table{}, err
-				}
+			for range profiles {
+				res := outs[ji].(hetsim.CPUResult)
+				ji++
 				total += res.Energy.Total()
 				last = res
 			}

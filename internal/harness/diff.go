@@ -244,6 +244,13 @@ func DiffBench(old, new BenchRecord, opts DiffOptions) DiffResult {
 	add("gpu_wave_insts_per_sec", old.GPUWaveInstsPerSec, new.GPUWaveInstsPerSec, higherBetter, opts.RateTol)
 	add("cpu_instructions", float64(old.CPUInstructions), float64(new.CPUInstructions), exactMatch, opts.RelTol)
 	add("gpu_wave_insts", float64(old.GPUWaveInsts), float64(new.GPUWaveInsts), exactMatch, opts.RelTol)
+	// Full-suite figures (run-plan engine). Skipped when the old record
+	// predates them, so new-format records still diff against old
+	// baselines.
+	if old.SuiteRuns > 0 && new.SuiteRuns > 0 {
+		add("suite_runs", float64(old.SuiteRuns), float64(new.SuiteRuns), exactMatch, opts.RelTol)
+		add("suite_runs_per_sec", old.SuiteRunsPerSec, new.SuiteRunsPerSec, higherBetter, opts.RateTol)
+	}
 	return res
 }
 

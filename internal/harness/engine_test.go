@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hetcore/internal/obs"
+)
+
+// engineTestWorkloads is a small subset so the 6-config matrix stays
+// cheap; two profiles with different op mixes keep the tables
+// non-trivial.
+var engineTestWorkloads = []string{"barnes", "radix"}
+
+// renderFigs runs fig7+fig8+fig9 on one shared engine with the given
+// worker count and returns the concatenated formatted tables.
+func renderFigs(t *testing.T, jobs int) string {
+	t.Helper()
+	opts := Options{
+		Instructions: 40_000, Seed: 1,
+		Workloads: engineTestWorkloads, Jobs: jobs,
+	}.WithSharedEngine()
+	var buf strings.Builder
+	for _, exp := range []struct {
+		name string
+		run  func(Options) (Table, error)
+	}{{"fig7", Fig7}, {"fig8", Fig8}, {"fig9", Fig9}} {
+		tb, err := exp.run(opts)
+		if err != nil {
+			t.Fatalf("%s (jobs=%d): %v", exp.name, jobs, err)
+		}
+		if err := tb.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestFigTablesDeterministicAcrossJobs is the tentpole determinism
+// contract: -jobs=1 and -jobs=8 must produce byte-identical tables for
+// the same seed.
+func TestFigTablesDeterministicAcrossJobs(t *testing.T) {
+	serial := renderFigs(t, 1)
+	parallel := renderFigs(t, 8)
+	if serial != parallel {
+		t.Fatalf("fig7+fig8+fig9 differ between -jobs=1 and -jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "AdvHet") {
+		t.Fatalf("rendered tables look empty:\n%s", serial)
+	}
+}
+
+// TestEngineCacheSharedAcrossFigures asserts the memoization contract:
+// fig7, fig8 and fig9 share one underlying suite, so running all three
+// on a shared engine simulates the 6-config × N-workload matrix exactly
+// once and serves the other two figures from cache.
+func TestEngineCacheSharedAcrossFigures(t *testing.T) {
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	opts := Options{
+		Instructions: 40_000, Seed: 1,
+		Workloads: engineTestWorkloads, Jobs: 4, Obs: o,
+	}.WithSharedEngine()
+	for _, run := range []func(Options) (Table, error){Fig7, Fig8, Fig9} {
+		if _, err := run(opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matrix := uint64(len(fig7Configs) * len(engineTestWorkloads))
+	if got := opts.Engine.JobsRun(); got != matrix {
+		t.Errorf("JobsRun = %d, want %d (each matrix cell must simulate exactly once)", got, matrix)
+	}
+	if got := opts.Engine.CacheHits(); got != 2*matrix {
+		t.Errorf("CacheHits = %d, want %d (fig8 and fig9 served from cache)", got, 2*matrix)
+	}
+	snap := o.Reg().Snapshot()
+	if got := snap.Counters["engine.jobs_total"]; got != matrix {
+		t.Errorf("engine.jobs_total = %d, want %d", got, matrix)
+	}
+	if got := snap.Counters["engine.cache_hits"]; got != 2*matrix {
+		t.Errorf("engine.cache_hits = %d, want %d", got, 2*matrix)
+	}
+}
+
+// TestPrivateEngineWithoutShared asserts the nil-Engine fallback: each
+// experiment call gets a private engine and still works, so callers that
+// never opt into sharing behave exactly as before.
+func TestPrivateEngineWithoutShared(t *testing.T) {
+	opts := Options{Instructions: 40_000, Seed: 1, Workloads: engineTestWorkloads, Jobs: 2}
+	tb, err := Fig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("fig7 with a private engine returned no rows")
+	}
+}

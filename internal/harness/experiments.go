@@ -68,19 +68,55 @@ func RunExperiment(e Experiment, opts Options) (Table, error) {
 	return t, err
 }
 
-// ByID returns the experiment with the given ID.
+// ByID returns the experiment with the given ID. On a miss the error
+// names the closest known ID (by edit distance) plus the full list.
 func ByID(id string) (Experiment, error) {
-	for _, e := range Experiments() {
+	exps := Experiments()
+	for _, e := range exps {
 		if e.ID == id {
 			return e, nil
 		}
 	}
-	ids := make([]string, 0)
-	for _, e := range Experiments() {
-		ids = append(ids, e.ID)
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
 	}
 	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (closest match %q; have %v)",
+		id, nearestID(id, ids), ids)
+}
+
+// nearestID returns the candidate with the smallest edit distance to id
+// (ties break toward the lexicographically first candidate).
+func nearestID(id string, candidates []string) string {
+	best, bestDist := "", -1
+	for _, c := range candidates {
+		if d := editDistance(id, c); bestDist < 0 || d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // TableII reproduces Table II as a descriptive listing (no numeric data in

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"hetcore/internal/engine"
 	"hetcore/internal/gpu"
 	"hetcore/internal/hetsim"
 )
@@ -25,27 +26,57 @@ func (o Options) gpuKernels() ([]gpu.Kernel, error) {
 	return out, nil
 }
 
-// gpuSuite runs the GPU configurations over the kernels.
+// gpuKey is the cache key of a stock GPU run under these options.
+func (o Options) gpuKey(config, kernel string) engine.Key {
+	return engine.Key{Device: "gpu", Config: config, Workload: kernel, Seed: o.Seed}
+}
+
+// gpuJob declares one stock GPU run as an engine job.
+func (o Options) gpuJob(cfg hetsim.GPUConfig, k gpu.Kernel) engine.Job {
+	return engine.Job{
+		Key: o.gpuKey(cfg.Name, k.Name),
+		Run: func() (any, error) {
+			res, err := hetsim.RunGPUObserved(cfg, k, o.Seed, o.Obs)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", cfg.Name, k.Name, err)
+			}
+			return res, nil
+		},
+	}
+}
+
+// gpuSuite runs the GPU configurations over the kernels as one run
+// plan; fig10/11/12 share the cached matrix when they share an engine.
 func gpuSuite(opts Options) (map[string]map[string]hetsim.GPUResult, []string, error) {
 	kernels, err := opts.gpuKernels()
 	if err != nil {
 		return nil, nil, err
 	}
 	names := make([]string, len(kernels))
-	results := make(map[string]map[string]hetsim.GPUResult, len(fig10Configs))
+	for i, k := range kernels {
+		names[i] = k.Name
+	}
+	jobs := make([]engine.Job, 0, len(fig10Configs)*len(kernels))
 	for _, cn := range fig10Configs {
 		cfg, err := hetsim.GPUConfigByName(cn)
 		if err != nil {
 			return nil, nil, err
 		}
+		for _, k := range kernels {
+			jobs = append(jobs, opts.gpuJob(cfg, k))
+		}
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make(map[string]map[string]hetsim.GPUResult, len(fig10Configs))
+	i := 0
+	for _, cn := range fig10Configs {
 		results[cn] = make(map[string]hetsim.GPUResult, len(kernels))
-		for i, k := range kernels {
-			names[i] = k.Name
-			res, err := hetsim.RunGPUObserved(cfg, k, opts.Seed, opts.Obs)
-			if err != nil {
-				return nil, nil, fmt.Errorf("harness: %s/%s: %w", cn, k.Name, err)
-			}
-			results[cn][k.Name] = res
+		for _, k := range kernels {
+			results[cn][k.Name] = outs[i].(hetsim.GPUResult)
+			i++
 		}
 	}
 	return results, names, nil

@@ -1,15 +1,37 @@
 package harness
 
 import (
+	"fmt"
+
+	"hetcore/internal/engine"
 	"hetcore/internal/hetsim"
+	"hetcore/internal/trace"
 )
+
+// cmpJob declares one heterogeneous-CMP run as an engine job. config
+// names the machine variant in the cache key ("cmp" device namespace).
+func (o Options) cmpJob(config string, hc hetsim.HeteroCMPConfig, prof trace.Profile) engine.Job {
+	return engine.Job{
+		Key: engine.Key{Device: "cmp", Config: config, Workload: prof.Name,
+			Seed: o.Seed, Instr: o.Instructions},
+		Run: func() (any, error) {
+			res, err := hetsim.RunHeteroCMP(hc, prof, o.runOpts())
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", config, prof.Name, err)
+			}
+			return res, nil
+		},
+	}
+}
 
 // Migration reproduces the Section VIII comparison: the 4-core AdvHet
 // multicore against an iso-area heterogeneous CMP (2 all-CMOS + 2
 // all-TFET cores) with barrier-aware thread migration. The paper states
 // AdvHet wins both performance and energy; the table shows time, energy
 // and ED² of both machines (and of the CMP without migration), normalised
-// to AdvHet.
+// to AdvHet. The three machines × workloads matrix runs as one plan; the
+// AdvHet runs are stock CPU keys, so a shared engine reuses the fig7/8/9
+// suite results.
 func Migration(opts Options) (Table, error) {
 	profiles, err := opts.cpuWorkloads()
 	if err != nil {
@@ -19,27 +41,30 @@ func Migration(opts Options) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	ro := opts.runOpts()
 
 	naive := hetsim.DefaultHeteroCMP()
 	naive.Migrate = false
 	balanced := hetsim.DefaultHeteroCMP()
 
+	jobs := make([]engine.Job, 0, 3*len(profiles))
+	for _, p := range profiles {
+		jobs = append(jobs,
+			opts.cpuJob(adv, p),
+			opts.cmpJob("HeteroCMP", balanced, p),
+			opts.cmpJob("HeteroCMP-nomig", naive, p),
+		)
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	var rows []Row
 	var sums [6]float64
-	for _, p := range profiles {
-		ra, err := hetsim.RunCPU(adv, p, ro)
-		if err != nil {
-			return Table{}, err
-		}
-		rn, err := hetsim.RunHeteroCMP(naive, p, ro)
-		if err != nil {
-			return Table{}, err
-		}
-		rb, err := hetsim.RunHeteroCMP(balanced, p, ro)
-		if err != nil {
-			return Table{}, err
-		}
+	for i, p := range profiles {
+		ra := outs[3*i].(hetsim.CPUResult)
+		rb := outs[3*i+1].(hetsim.HeteroCMPResult)
+		rn := outs[3*i+2].(hetsim.HeteroCMPResult)
 		vals := []float64{
 			rb.TimeSec / ra.TimeSec,
 			rb.Energy.Total() / ra.Energy.Total(),
@@ -48,8 +73,8 @@ func Migration(opts Options) (Table, error) {
 			rn.Energy.Total() / ra.Energy.Total(),
 			rn.ED2() / ra.ED2(),
 		}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range vals {
+			sums[j] += v
 		}
 		rows = append(rows, Row{Label: p.Name, Values: vals})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hetcore/internal/cpu"
+	"hetcore/internal/engine"
 	"hetcore/internal/gpu"
 	"hetcore/internal/hetsim"
 )
@@ -16,26 +17,37 @@ var cyclesConfigs = []string{"BaseCMOS", "BaseTFET", "BaseHet", "AdvHet"}
 // the fraction of core cycles spent committing vs stalled on memory,
 // mispredict recovery, fetch, rename backpressure or empty issue. This is
 // the diagnostic behind the paper's Figure 7 slowdowns — it shows *where*
-// the TFET latencies go.
+// the TFET latencies go. The runs are stock CPU keys (a subset of the
+// fig7 matrix), so a shared engine serves them from cache.
 func CPUCycles(opts Options) (Table, error) {
 	profiles, err := opts.cpuWorkloads()
 	if err != nil {
 		return Table{}, err
 	}
-	cols := []string{"commit", "mem", "mispredict", "fetch", "rename", "issue"}
-	rows := make([]Row, 0, len(cyclesConfigs))
+	jobs := make([]engine.Job, 0, len(cyclesConfigs)*len(profiles))
 	for _, cn := range cyclesConfigs {
 		cfg, err := hetsim.CPUConfigByName(cn)
 		if err != nil {
 			return Table{}, err
 		}
+		for _, p := range profiles {
+			jobs = append(jobs, opts.cpuJob(cfg, p))
+		}
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
+	cols := []string{"commit", "mem", "mispredict", "fetch", "rename", "issue"}
+	rows := make([]Row, 0, len(cyclesConfigs))
+	ji := 0
+	for _, cn := range cyclesConfigs {
 		var attr cpu.CycleAttr
 		var cycles uint64
-		for _, p := range profiles {
-			res, err := hetsim.RunCPU(cfg, p, opts.runOpts())
-			if err != nil {
-				return Table{}, fmt.Errorf("harness: %s/%s: %w", cn, p.Name, err)
-			}
+		for range profiles {
+			res := outs[ji].(hetsim.CPUResult)
+			ji++
 			attr = attr.Add(res.Attr)
 			cycles += res.CoreCycles
 		}
@@ -58,26 +70,37 @@ func CPUCycles(opts Options) (Table, error) {
 // GPUCycles reports the top-down GPU cycle attribution per design:
 // SIMD-busy vs memory-wait vs register-file port conflicts vs scheduler
 // idle. The RFConflict column isolates the slow-TFET-RF cost that the
-// AdvHet register file cache recovers.
+// AdvHet register file cache recovers. Runs are stock GPU keys shared
+// with the fig10/11/12 matrix.
 func GPUCycles(opts Options) (Table, error) {
 	kernels, err := opts.gpuKernels()
 	if err != nil {
 		return Table{}, err
 	}
-	cols := []string{"simd_busy", "mem_wait", "rf_conflict", "sched_idle"}
-	rows := make([]Row, 0, len(cyclesConfigs))
+	jobs := make([]engine.Job, 0, len(cyclesConfigs)*len(kernels))
 	for _, cn := range cyclesConfigs {
 		cfg, err := hetsim.GPUConfigByName(cn)
 		if err != nil {
 			return Table{}, err
 		}
+		for _, k := range kernels {
+			jobs = append(jobs, opts.gpuJob(cfg, k))
+		}
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
+	cols := []string{"simd_busy", "mem_wait", "rf_conflict", "sched_idle"}
+	rows := make([]Row, 0, len(cyclesConfigs))
+	ji := 0
+	for _, cn := range cyclesConfigs {
 		var attr gpu.CycleAttr
 		var cycles uint64
-		for _, k := range kernels {
-			res, err := hetsim.RunGPUObserved(cfg, k, opts.Seed, opts.Obs)
-			if err != nil {
-				return Table{}, fmt.Errorf("harness: %s/%s: %w", cn, k.Name, err)
-			}
+		for range kernels {
+			res := outs[ji].(hetsim.GPUResult)
+			ji++
 			attr.SIMDBusy += res.Attr.SIMDBusy
 			attr.MemWait += res.Attr.MemWait
 			attr.RFConflict += res.Attr.RFConflict

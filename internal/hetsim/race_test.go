@@ -1,0 +1,157 @@
+package hetsim
+
+import (
+	"sync"
+	"testing"
+
+	"hetcore/internal/gpu"
+	"hetcore/internal/obs"
+	"hetcore/internal/trace"
+)
+
+// TestConcurrentRunsMatchSerial hammers RunCPU and RunGPUObserved from
+// many goroutines sharing one fully-armed Observer. Under `go test
+// -race` this catches any package-level mutable state reachable from the
+// run entry points (the run-plan engine executes exactly this mix); the
+// value comparison then proves each concurrent run is identical to its
+// serial twin, i.e. runs are pure functions of (config, workload, seed).
+func TestConcurrentRunsMatchSerial(t *testing.T) {
+	const instr = 40_000
+	const seed = 1
+	cpuConfigs := []string{"BaseCMOS", "AdvHet"}
+	cpuWorkloads := []string{"barnes", "radix"}
+	gpuConfigs := []string{"BaseCMOS", "AdvHet"}
+	gpuKernels := []string{"MatrixMultiplication", "Reduction"}
+
+	type cpuKey struct{ config, workload string }
+	type gpuKey struct{ config, kernel string }
+
+	// Serial reference pass, no observer.
+	cpuWant := make(map[cpuKey]CPUResult)
+	for _, cn := range cpuConfigs {
+		cfg, err := CPUConfigByName(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range cpuWorkloads {
+			prof, err := trace.CPUWorkload(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunCPU(cfg, prof, RunOpts{TotalInstructions: instr, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cn, w, err)
+			}
+			cpuWant[cpuKey{cn, w}] = res
+		}
+	}
+	gpuWant := make(map[gpuKey]GPUResult)
+	for _, gn := range gpuConfigs {
+		cfg, err := GPUConfigByName(gn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kn := range gpuKernels {
+			k, err := gpu.KernelByName(kn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunGPU(cfg, k, seed)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gn, kn, err)
+			}
+			gpuWant[gpuKey{gn, kn}] = res
+		}
+	}
+
+	// Concurrent pass: every combination three times, all at once, with a
+	// shared Observer exercising the registry, record sink, trace writer
+	// and progress endpoints from every goroutine.
+	o := &obs.Observer{
+		Metrics:  obs.NewRegistry(),
+		Records:  &obs.RecordSink{},
+		Trace:    obs.NewTraceWriter(),
+		Progress: obs.NewProgress(discard{}, 0),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for round := 0; round < 3; round++ {
+		for _, cn := range cpuConfigs {
+			for _, w := range cpuWorkloads {
+				cn, w := cn, w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cfg, err := CPUConfigByName(cn)
+					if err != nil {
+						errs <- err
+						return
+					}
+					prof, err := trace.CPUWorkload(w)
+					if err != nil {
+						errs <- err
+						return
+					}
+					res, err := RunCPU(cfg, prof, RunOpts{TotalInstructions: instr, Seed: seed, Obs: o})
+					if err != nil {
+						errs <- err
+						return
+					}
+					want := cpuWant[cpuKey{cn, w}]
+					if res.TimeSec != want.TimeSec || res.IPC != want.IPC ||
+						res.Instructions != want.Instructions ||
+						res.Energy.Total() != want.Energy.Total() {
+						t.Errorf("cpu %s/%s: concurrent result differs from serial (time %v vs %v, ipc %v vs %v)",
+							cn, w, res.TimeSec, want.TimeSec, res.IPC, want.IPC)
+					}
+				}()
+			}
+		}
+		for _, gn := range gpuConfigs {
+			for _, kn := range gpuKernels {
+				gn, kn := gn, kn
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cfg, err := GPUConfigByName(gn)
+					if err != nil {
+						errs <- err
+						return
+					}
+					k, err := gpu.KernelByName(kn)
+					if err != nil {
+						errs <- err
+						return
+					}
+					res, err := RunGPUObserved(cfg, k, seed, o)
+					if err != nil {
+						errs <- err
+						return
+					}
+					want := gpuWant[gpuKey{gn, kn}]
+					if res.TimeSec != want.TimeSec || res.WaveInsts != want.WaveInsts ||
+						res.Energy.Total() != want.Energy.Total() {
+						t.Errorf("gpu %s/%s: concurrent result differs from serial (time %v vs %v)",
+							gn, kn, res.TimeSec, want.TimeSec)
+					}
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The shared sink saw every observed run.
+	wantRuns := 3 * (len(cpuConfigs)*len(cpuWorkloads) + len(gpuConfigs)*len(gpuKernels))
+	if got := len(o.Sink().Records()); got != wantRuns {
+		t.Fatalf("record sink: got %d records, want %d", got, wantRuns)
+	}
+}
+
+// discard is an io.Writer for the progress heartbeat.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGaugeAddOrderIndependent pins the fixed-point accumulation
+// contract: any interleaving of the same Adds yields a bit-identical
+// Value. The engine worker pool completes runs in arbitrary order, and
+// the metrics snapshot is part of the -metrics-out report, which must
+// be byte-identical for any -jobs value.
+func TestGaugeAddOrderIndependent(t *testing.T) {
+	vals := []float64{0.1, 0.2, 0.3, 1e-9, 123.456, 0.7, 2.5e-4}
+
+	forward := &Gauge{}
+	for _, v := range vals {
+		forward.Add(v)
+	}
+	backward := &Gauge{}
+	for i := len(vals) - 1; i >= 0; i-- {
+		backward.Add(vals[i])
+	}
+	if forward.Value() != backward.Value() {
+		t.Fatalf("Add order changed the value: %v vs %v", forward.Value(), backward.Value())
+	}
+
+	concurrent := &Gauge{}
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			concurrent.Add(v)
+		}(v)
+	}
+	wg.Wait()
+	if concurrent.Value() != forward.Value() {
+		t.Fatalf("concurrent Adds changed the value: %v vs %v", concurrent.Value(), forward.Value())
+	}
+
+	// Round-trip sanity: a clean decimal survives quantisation exactly.
+	g := &Gauge{}
+	g.Add(0.8)
+	if g.Value() != 0.8 {
+		t.Fatalf("0.8 did not round-trip: got %v", g.Value())
+	}
+}
+
+// TestHistogramSumOrderIndependent does the same for the histogram sum.
+func TestHistogramSumOrderIndependent(t *testing.T) {
+	bounds := []float64{0.5, 1, 2}
+	vals := []float64{0.1, 0.9, 1.7, 3.2, 0.30000000000000004}
+
+	a := NewRegistry().Histogram("h", bounds)
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	b := NewRegistry().Histogram("h", bounds)
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	sa, sb := a.snapshot(), b.snapshot()
+	if sa.Sum != sb.Sum {
+		t.Fatalf("observation order changed the sum: %v vs %v", sa.Sum, sb.Sum)
+	}
+	if sa.Count != sb.Count {
+		t.Fatalf("counts differ: %d vs %d", sa.Count, sb.Count)
+	}
+}

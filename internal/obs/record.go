@@ -63,13 +63,37 @@ func (r RunRecord) Canonical() RunRecord {
 	return r
 }
 
-// CanonicalRecords maps Canonical over a record slice.
+// CanonicalRecords maps Canonical over a record slice and sorts it into
+// the canonical order, so the result is byte-stable whatever order the
+// worker pool completed the runs in.
 func CanonicalRecords(recs []RunRecord) []RunRecord {
 	out := make([]RunRecord, len(recs))
 	for i, r := range recs {
 		out[i] = r.Canonical()
 	}
+	SortRecords(out)
 	return out
+}
+
+// SortRecords orders records by (experiment, kind, config, workload,
+// seed) — the canonical order for reports. Concurrent run plans append
+// records in completion order; sorting restores a deterministic layout.
+func SortRecords(recs []RunRecord) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		switch {
+		case a.Experiment != b.Experiment:
+			return a.Experiment < b.Experiment
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Config != b.Config:
+			return a.Config < b.Config
+		case a.Workload != b.Workload:
+			return a.Workload < b.Workload
+		default:
+			return a.Seed < b.Seed
+		}
+	})
 }
 
 // RecordSink accumulates run records; a nil sink discards them.

@@ -47,8 +47,19 @@ func (c *Counter) Value() uint64 {
 // Gauge is a float64 metric that can move in either direction. A nil
 // Gauge discards writes.
 type Gauge struct {
-	bits atomic.Uint64
+	bits atomic.Uint64 // last Set value
+	add  atomic.Int64  // accumulated Adds, fixed-point gaugeAddUnit units
 }
+
+// gaugeAddScale is the fixed-point scale for Gauge.Add: values are
+// accumulated as round(v*scale) in an int64. Integer accumulation is
+// commutative, so concurrent Adds (e.g. from the engine worker pool)
+// total bit-identically regardless of completion order — float addition
+// would leak scheduling into the snapshot via rounding. 1e12 keeps
+// joule-scale metrics exact to the picojoule with headroom to ~9e6 in
+// the int64 sum, and is itself exactly representable, so quantities
+// round-trip through the nearest double.
+const gaugeAddScale = 1e12
 
 // Set stores v (NaN and infinities are dropped to keep exports valid
 // JSON).
@@ -59,26 +70,22 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
-// Add increments the gauge by v.
+// Add increments the gauge by v. The running total is order-independent:
+// any interleaving of the same Adds yields the same Value.
 func (g *Gauge) Add(v float64) {
 	if g == nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
-	for {
-		old := g.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if g.bits.CompareAndSwap(old, next) {
-			return
-		}
-	}
+	g.add.Add(int64(math.Round(v * gaugeAddScale)))
 }
 
-// Value returns the current value (0 for a nil gauge).
+// Value returns the current value (0 for a nil gauge): the last Set
+// value plus everything Added.
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return math.Float64frombits(g.bits.Load())
+	return math.Float64frombits(g.bits.Load()) + float64(g.add.Load())/gaugeAddScale
 }
 
 // Histogram is a fixed-bucket histogram: Observe(v) increments the count
@@ -88,11 +95,13 @@ type Histogram struct {
 	mu     sync.Mutex
 	bounds []float64 // ascending upper bounds
 	counts []uint64  // len(bounds)+1, last = overflow
-	sum    float64
+	sum    int64     // fixed-point, gaugeAddScale units; see Gauge.Add
 	n      uint64
 }
 
-// Observe records one sample.
+// Observe records one sample. The exported sum accumulates in
+// fixed-point so it is independent of observation order (concurrent
+// runs on the engine worker pool complete in any order).
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return
@@ -100,7 +109,7 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
-	h.sum += v
+	h.sum += int64(math.Round(v * gaugeAddScale))
 	h.n++
 	h.mu.Unlock()
 }
@@ -163,7 +172,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
-		Sum:    h.sum,
+		Sum:    float64(h.sum) / gaugeAddScale,
 		Count:  h.n,
 	}
 	return s

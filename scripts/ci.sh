@@ -34,6 +34,13 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== engine determinism (go test -race) =="
+# The run-plan engine carries the whole -jobs determinism contract, so
+# its tests (plus the harness golden jobs=1-vs-jobs=8 comparison) get an
+# explicit race-enabled pass before the full suite.
+go test -race ./internal/engine/
+go test -race -run 'TestFigTablesDeterministicAcrossJobs|TestEngineCacheSharedAcrossFigures' ./internal/harness/
+
 echo "== go test -race =="
 go test -race ./...
 
