@@ -8,11 +8,18 @@
 //	hetcore all [-instr N] [-seed S] [-csv]
 //	hetcore bench [-instr N] [-o BENCH_sim_rate.json]
 //	hetcore diff [-tol PCT] [-rate-tol PCT] old.json new.json
+//	hetcore version
 //
 // "run" executes one experiment; "all" executes the full evaluation in
 // paper order; "bench" measures the simulation rate of this host;
 // "diff" compares two -metrics-out reports or two bench records and
-// exits non-zero when a metric regressed beyond its threshold.
+// exits non-zero when a metric regressed beyond its threshold;
+// "version" prints the internal/dist cache/wire compatibility stamp.
+// -cache-dir makes every simulated point persistent (content-addressed
+// under SHA-256 of the engine key plus the version stamp), so repeated
+// invocations and CI reruns skip simulation entirely; -remote fans jobs
+// out to hetserved daemons as extra engine lanes with transparent local
+// fallback. Both preserve byte-identical output.
 // Figures 7-9 and 13-14 simulate the 14 CPU workloads on every
 // configuration, so expect tens of seconds at the default instruction
 // budget.
@@ -31,8 +38,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"hetcore/internal/dist"
 	"hetcore/internal/harness"
+	"hetcore/internal/obs"
 )
 
 func main() {
@@ -52,6 +62,8 @@ func main() {
 		err = bench(os.Args[2:])
 	case "diff":
 		err = diff(os.Args[2:])
+	case "version":
+		version()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -74,6 +86,7 @@ Commands:
   all [...]            run every experiment in paper order
   bench [...]          measure this host's simulation rate
   diff old new         compare two reports/bench records, exit 1 on regression
+  version              print the cache/wire version stamp
 
 Flags for run/all:
   -instr N             total instructions per CPU run (default 400000)
@@ -82,6 +95,10 @@ Flags for run/all:
   -kernels X,Y         restrict GPU kernels
   -jobs N              concurrent simulation jobs (0 = NumCPU); output is
                        byte-identical for any value
+  -cache-dir D         persistent result cache; a repeated invocation
+                       simulates nothing and produces identical output
+  -remote H:P,...      hetserved workers used as extra engine lanes (with
+                       local fallback); output stays byte-identical
   -csv                 emit CSV instead of aligned text
   -json                emit JSON
   -metrics-out F       write metrics + run-record report JSON
@@ -116,6 +133,19 @@ func emit(t harness.Table, csv, js bool) error {
 	}
 }
 
+// version prints the identifiers that govern cache and wire
+// compatibility. The first line is the dist stamp folded into every
+// persistent cache entry and checked against every -remote worker: two
+// builds with different stamps never share results, so stale caches
+// self-invalidate on any code or device-table change.
+func version() {
+	fmt.Println(dist.Stamp())
+	fmt.Printf("  cache schema:      v%d\n", dist.CacheVersion)
+	fmt.Printf("  device-table hash: %s\n", dist.DeviceTableHash())
+	fmt.Printf("  report schema:     %s\n", obs.SchemaVersion)
+	fmt.Printf("  go:                %s\n", runtime.Version())
+}
+
 func list() error {
 	for _, e := range harness.Experiments() {
 		fmt.Printf("%-10s %-14s %s\n", e.ID, "("+e.PaperRef+")", e.Title)
@@ -148,7 +178,11 @@ func run(args []string) error {
 	sess.Seed = sim.Seed
 	opts := sim.Options()
 	opts.Obs = sess.Obs
-	opts = opts.WithSharedEngine()
+	opts, err = opts.WithSharedEngine()
+	if err != nil {
+		return err
+	}
+	sess.Engine = opts.Engine
 	t, err := harness.RunExperiment(e, opts)
 	if err != nil {
 		return err
@@ -177,7 +211,11 @@ func all(args []string) error {
 	opts.Obs = sess.Obs
 	// One engine for the whole evaluation: figures sharing a simulation
 	// matrix (fig7/8/9, fig10/11/12, cycles...) simulate it once.
-	opts = opts.WithSharedEngine()
+	opts, err = opts.WithSharedEngine()
+	if err != nil {
+		return err
+	}
+	sess.Engine = opts.Engine
 	for _, e := range harness.Experiments() {
 		sess.Experiments = append(sess.Experiments, e.ID)
 		t, err := harness.RunExperiment(e, opts)

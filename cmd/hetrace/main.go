@@ -93,6 +93,7 @@ func stats(args []string) error {
 	in := fs.String("in", "", "trace file to read instead of a live workload")
 	var jobs int
 	harness.AddJobsFlag(fs, &jobs)
+	df := harness.AddDistFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,7 +124,11 @@ func stats(args []string) error {
 		// One summary job per workload, fanned out on the engine pool and
 		// printed in the order given on the command line.
 		names := strings.Split(*workload, ",")
-		eng := engine.New(jobs, sess.Obs)
+		eng, err := harness.NewEngine(jobs, df.CacheDir, df.RemoteList(), sess.Obs)
+		if err != nil {
+			return err
+		}
+		sess.Engine = eng
 		plan := make([]engine.Job, len(names))
 		for i, name := range names {
 			p, err := trace.CPUWorkload(name)

@@ -54,6 +54,7 @@ func main() {
 	seed := fs.Uint64("seed", 1, "workload synthesis seed")
 	var jobs int
 	harness.AddJobsFlag(fs, &jobs)
+	df := harness.AddDistFlags(fs)
 	ob := harness.AddObsFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -67,8 +68,16 @@ func main() {
 	sess.Seed = *seed
 	sess.Experiments = []string{"sweep-" + *sweep}
 	sess.Obs.SetPhase("sweep-" + *sweep)
+	// Sweep keys carry a Variant, so they always execute locally even
+	// with -remote set; -cache-dir still persists them across runs.
+	eng, err := harness.NewEngine(jobs, df.CacheDir, df.RemoteList(), sess.Obs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsweep:", err)
+		os.Exit(1)
+	}
+	sess.Engine = eng
 	e := env{workload: *workload, kernel: *kernel, instr: *instr, seed: *seed,
-		o: sess.Obs, eng: engine.New(jobs, sess.Obs)}
+		o: sess.Obs, eng: eng}
 
 	switch *sweep {
 	case "fastsize":

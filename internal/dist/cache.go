@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"hetcore/internal/engine"
+	"hetcore/internal/obs"
+)
+
+// DiskCache is the persistent content-addressed result cache: one JSON
+// file per engine key under dir, named by the key's SHA-256 and fanned
+// out over 256 subdirectories. It implements engine.Cache, so repeated
+// CLI invocations (and the CI suite) skip already-simulated points
+// entirely.
+//
+// Robustness contract: a corrupt, truncated, stale-stamped or
+// foreign-typed entry is a miss — the job recomputes and overwrites it —
+// never an error. Writes go through a temp file plus rename, so a
+// killed process can leave at worst an ignored *.tmp, not a torn entry.
+type DiskCache struct {
+	dir   string
+	stamp string
+	o     *obs.Observer
+}
+
+// cacheEntry is the on-disk envelope around an encoded result.
+type cacheEntry struct {
+	// Stamp is the CacheVersion + device-table stamp the entry was
+	// written under; anything else is stale.
+	Stamp string `json:"stamp"`
+	// Key is the rendered engine key, both for debuggability and as a
+	// guard: a hash filename collision (or a copied file) decodes but
+	// fails the key comparison and misses.
+	Key    string          `json:"key"`
+	Type   string          `json:"type"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenCache opens (creating if needed) a persistent result cache rooted
+// at dir. o receives the dist.cache_disk_* counters; nil disables them.
+func OpenCache(dir string, o *obs.Observer) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskCache{dir: dir, stamp: Stamp(), o: o}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) count(name string) {
+	if reg := c.o.Reg(); reg != nil {
+		reg.Counter(name).Inc()
+	}
+}
+
+// path returns the entry file for a key: dir/<hh>/<ash>.json with hh
+// the first hash byte, keeping directories small for big sweeps.
+func (c *DiskCache) path(k engine.Key) string {
+	h := k.Hash()
+	return filepath.Join(c.dir, h[:2], h[2:]+".json")
+}
+
+// Get implements engine.Cache. Any failure mode is a miss.
+func (c *DiskCache) Get(k engine.Key) (any, bool) {
+	raw, err := os.ReadFile(c.path(k))
+	if err != nil {
+		c.count("dist.cache_disk_misses")
+		return nil, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(raw, &ent); err != nil {
+		c.count("dist.cache_disk_corrupt")
+		return nil, false
+	}
+	if ent.Stamp != c.stamp {
+		c.count("dist.cache_disk_stale")
+		return nil, false
+	}
+	if ent.Key != k.String() {
+		c.count("dist.cache_disk_corrupt")
+		return nil, false
+	}
+	v, err := DecodeResult(ent.Type, ent.Result)
+	if err != nil {
+		c.count("dist.cache_disk_corrupt")
+		return nil, false
+	}
+	c.count("dist.cache_disk_hits")
+	return v, true
+}
+
+// Put implements engine.Cache. Failures (unregistered type, full disk)
+// are recorded as counters and otherwise ignored: the cache is an
+// accelerator, never a correctness dependency.
+func (c *DiskCache) Put(k engine.Key, v any) {
+	typeName, data, err := EncodeResult(v)
+	if err != nil {
+		c.count("dist.cache_disk_unencodable")
+		return
+	}
+	raw, err := json.Marshal(cacheEntry{
+		Stamp: c.stamp, Key: k.String(), Type: typeName, Result: data,
+	})
+	if err != nil {
+		c.count("dist.cache_disk_errors")
+		return
+	}
+	path := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.count("dist.cache_disk_errors")
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*.tmp")
+	if err != nil {
+		c.count("dist.cache_disk_errors")
+		return
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.count("dist.cache_disk_errors")
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.count("dist.cache_disk_errors")
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		c.count("dist.cache_disk_errors")
+		return
+	}
+	c.count("dist.cache_disk_writes")
+}

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"hetcore/internal/hetsim"
+	"hetcore/internal/trace"
+)
+
+// The result codec: engine jobs return `any`, but the disk cache and the
+// wire protocol need typed round-trips. Every result type is registered
+// under a stable name; encoding emits (name, JSON) pairs and decoding
+// rebuilds the exact concrete type. encoding/json prints float64 in the
+// shortest form that parses back to the same bits and decodes integers
+// into their true field types, so a decoded result is identical to the
+// computed one — the determinism contract survives serialization.
+
+var (
+	codecMu    sync.RWMutex
+	codecTypes = map[string]reflect.Type{}
+	codecNames = map[reflect.Type]string{}
+)
+
+// RegisterResult makes a result type serializable under the given
+// stable name. Call from init; registering the same name twice panics.
+func RegisterResult(name string, prototype any) {
+	t := reflect.TypeOf(prototype)
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if prev, ok := codecTypes[name]; ok && prev != t {
+		panic(fmt.Sprintf("dist: result name %q registered for both %v and %v", name, prev, t))
+	}
+	codecTypes[name] = t
+	codecNames[t] = name
+}
+
+func init() {
+	RegisterResult("hetsim.CPUResult", hetsim.CPUResult{})
+	RegisterResult("hetsim.GPUResult", hetsim.GPUResult{})
+	RegisterResult("hetsim.HeteroCMPResult", hetsim.HeteroCMPResult{})
+	RegisterResult("trace.Summary", trace.Summary{})
+}
+
+// EncodeResult serializes a registered result value. Unregistered types
+// return an error — callers treat those results as uncacheable and
+// unshippable rather than failing the job.
+func EncodeResult(v any) (typeName string, data []byte, err error) {
+	codecMu.RLock()
+	name, ok := codecNames[reflect.TypeOf(v)]
+	codecMu.RUnlock()
+	if !ok {
+		return "", nil, fmt.Errorf("dist: unregistered result type %T", v)
+	}
+	data, err = json.Marshal(v)
+	if err != nil {
+		return "", nil, fmt.Errorf("dist: encoding %s: %w", name, err)
+	}
+	return name, data, nil
+}
+
+// DecodeResult rebuilds a result value from its registered type name
+// and JSON payload.
+func DecodeResult(typeName string, data []byte) (any, error) {
+	codecMu.RLock()
+	t, ok := codecTypes[typeName]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown result type %q", typeName)
+	}
+	p := reflect.New(t)
+	if err := json.Unmarshal(data, p.Interface()); err != nil {
+		return nil, fmt.Errorf("dist: decoding %s: %w", typeName, err)
+	}
+	return p.Elem().Interface(), nil
+}

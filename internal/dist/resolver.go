@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"fmt"
+
+	"hetcore/internal/engine"
+	"hetcore/internal/gpu"
+	"hetcore/internal/hetsim"
+	"hetcore/internal/obs"
+	"hetcore/internal/trace"
+)
+
+// Resolve maps a stock engine key back to the simulation it denotes, so
+// a daemon that received only the key can execute the job. It covers
+// exactly the keys whose fields fully determine the computation:
+//
+//	cpu/<config>/<workload>/s<seed>/i<instr>   hetsim.RunCPU
+//	gpu/<config>/<kernel>/s<seed>/i0           hetsim.RunGPU
+//	cmp/HeteroCMP[-nomig]/<workload>/...       hetsim.RunHeteroCMP
+//	trace/stats/<workload>/.../core=<n>        trace.Summarize
+//
+// Keys carrying other variants (sweeps, DVFS operating points) mutate
+// their config out-of-band and return ok=false: they must execute in the
+// process that built them. o receives the executing side's telemetry.
+func Resolve(k engine.Key, o *obs.Observer) (func() (any, error), bool) {
+	switch k.Device {
+	case "cpu":
+		if k.Variant != "" {
+			return nil, false
+		}
+		cfg, err := hetsim.CPUConfigByName(k.Config)
+		if err != nil {
+			return nil, false
+		}
+		prof, err := trace.CPUWorkload(k.Workload)
+		if err != nil {
+			return nil, false
+		}
+		return func() (any, error) {
+			return hetsim.RunCPU(cfg, prof, hetsim.RunOpts{
+				TotalInstructions: k.Instr, Seed: k.Seed, Obs: o})
+		}, true
+	case "gpu":
+		if k.Variant != "" || k.Instr != 0 {
+			return nil, false
+		}
+		cfg, err := hetsim.GPUConfigByName(k.Config)
+		if err != nil {
+			return nil, false
+		}
+		kern, err := gpu.KernelByName(k.Workload)
+		if err != nil {
+			return nil, false
+		}
+		return func() (any, error) {
+			return hetsim.RunGPUObserved(cfg, kern, k.Seed, o)
+		}, true
+	case "cmp":
+		if k.Variant != "" {
+			return nil, false
+		}
+		hc := hetsim.DefaultHeteroCMP()
+		switch k.Config {
+		case "HeteroCMP":
+		case "HeteroCMP-nomig":
+			hc.Migrate = false
+		default:
+			return nil, false
+		}
+		prof, err := trace.CPUWorkload(k.Workload)
+		if err != nil {
+			return nil, false
+		}
+		return func() (any, error) {
+			return hetsim.RunHeteroCMP(hc, prof, hetsim.RunOpts{
+				TotalInstructions: k.Instr, Seed: k.Seed, Obs: o})
+		}, true
+	case "trace":
+		if k.Config != "stats" {
+			return nil, false
+		}
+		var core int
+		if n, err := fmt.Sscanf(k.Variant, "core=%d", &core); n != 1 || err != nil {
+			return nil, false
+		}
+		prof, err := trace.CPUWorkload(k.Workload)
+		if err != nil {
+			return nil, false
+		}
+		return func() (any, error) {
+			g, err := trace.NewGenerator(prof, k.Seed, core)
+			if err != nil {
+				return nil, err
+			}
+			return trace.Summarize(g, k.Instr), nil
+		}, true
+	}
+	return nil, false
+}
+
+// Resolvable reports whether Resolve can reconstruct the job for k —
+// i.e. whether the key may execute on a remote worker.
+func Resolvable(k engine.Key) bool {
+	_, ok := Resolve(k, nil)
+	return ok
+}

@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"hetcore/internal/engine"
+	"hetcore/internal/obs"
+)
+
+// DaemonConfig configures a simulation daemon.
+type DaemonConfig struct {
+	// Jobs is the local engine's worker-pool width (0 = NumCPU).
+	Jobs int
+	// CacheDir, when non-empty, attaches a persistent result cache, so
+	// the daemon serves repeated keys across its whole lifetime and
+	// across restarts.
+	CacheDir string
+	// Obs receives the daemon's metrics and is served on the obs
+	// endpoints; nil builds a registry-only observer.
+	Obs *obs.Observer
+	// Logf logs one line per notable event (job errors, bad requests);
+	// nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Daemon executes engine jobs received over HTTP on a local engine with
+// an optional persistent cache. Endpoints: POST /v1/jobs, GET
+// /v1/health, plus every internal/obs endpoint (dashboard, /metrics,
+// /metrics.json, /series, /events).
+type Daemon struct {
+	cfg   DaemonConfig
+	o     *obs.Observer
+	eng   *engine.Engine
+	start time.Time
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewDaemon builds a daemon (not yet listening; call Start).
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	o := cfg.Obs
+	if o == nil {
+		o = &obs.Observer{Metrics: obs.NewRegistry()}
+	}
+	eng := engine.New(cfg.Jobs, o)
+	if cfg.CacheDir != "" {
+		c, err := OpenCache(cfg.CacheDir, o)
+		if err != nil {
+			return nil, fmt.Errorf("dist: opening cache: %w", err)
+		}
+		eng.SetCache(c)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Daemon{cfg: cfg, o: o, eng: eng, start: time.Now()}, nil
+}
+
+// Engine returns the daemon's engine (for stats and tests).
+func (d *Daemon) Engine() *engine.Engine { return d.eng }
+
+// Handler returns the daemon's HTTP handler.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathJobs, d.handleJobs)
+	mux.HandleFunc(PathHealth, d.handleHealth)
+	mux.Handle("/", obs.NewHandler(d.o))
+	return mux
+}
+
+// Start listens on addr (port 0 picks an ephemeral port) and serves in
+// a background goroutine until Close.
+func (d *Daemon) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	d.ln = ln
+	d.srv = &http.Server{Handler: d.Handler()}
+	go d.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (d *Daemon) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close shuts the daemon down immediately, dropping in-flight requests
+// (clients retry and fall back to local execution by design).
+func (d *Daemon) Close() error {
+	if d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+func (d *Daemon) count(name string) {
+	if reg := d.o.Reg(); reg != nil {
+		reg.Counter(name).Inc()
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort over HTTP
+}
+
+// maxJobRequestBytes bounds a /v1/jobs body; real requests are tiny.
+const maxJobRequestBytes = 1 << 20
+
+func (d *Daemon) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, wireError{Error: "POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobRequestBytes))
+	if err != nil {
+		d.count("dist.server_bad_requests")
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "reading request: " + err.Error()})
+		return
+	}
+	var req JobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		d.count("dist.server_bad_requests")
+		d.cfg.Logf("dist: malformed job request from %s: %v", r.RemoteAddr, err)
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "malformed job request: " + err.Error()})
+		return
+	}
+	fn, ok := Resolve(req.Key, d.o)
+	if !ok {
+		d.count("dist.server_unresolvable")
+		writeJSON(w, http.StatusUnprocessableEntity,
+			wireError{Error: fmt.Sprintf("unresolvable key %s (variant keys execute locally)", req.Key)})
+		return
+	}
+
+	ran := false
+	start := time.Now()
+	val, jobErr := d.eng.Do(req.Key, func() (any, error) {
+		ran = true
+		return fn()
+	})
+	resp := JobResponse{
+		Key:      req.Key.String(),
+		Stamp:    Stamp(),
+		CacheHit: !ran,
+		WallMS:   float64(time.Since(start).Nanoseconds()) / 1e6,
+	}
+	if jobErr != nil {
+		d.count("dist.server_job_errors")
+		d.cfg.Logf("dist: job %s failed: %v", req.Key, jobErr)
+		resp.Error = jobErr.Error()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	typeName, data, err := EncodeResult(val)
+	if err != nil {
+		d.count("dist.server_errors")
+		writeJSON(w, http.StatusInternalServerError, wireError{Error: err.Error()})
+		return
+	}
+	resp.Type, resp.Result = typeName, data
+	d.count("dist.server_jobs")
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:            true,
+		Stamp:         Stamp(),
+		Workers:       d.eng.Workers(),
+		JobsRun:       d.eng.JobsRun(),
+		CacheHits:     d.eng.CacheHits(),
+		DiskHits:      d.eng.DiskHits(),
+		UptimeSeconds: time.Since(d.start).Seconds(),
+	})
+}

@@ -1,0 +1,39 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"hetcore/internal/hetsim"
+)
+
+// CacheVersion is the persistent-cache schema generation. Bump it
+// whenever the serialized result structs, the cache envelope, or the
+// simulator semantics change in a way the device-table hash cannot see —
+// every existing cache entry and remote worker then self-invalidates
+// through the stamp mismatch instead of serving stale results.
+const CacheVersion = 1
+
+var deviceHash = sync.OnceValue(func() string {
+	// Hash the fully-rendered CPU and GPU configuration tables: any
+	// change to a latency, size, frequency or added/renamed field yields
+	// a different stamp. %+v includes nested field names, so struct
+	// reshapes are caught too.
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v\n%+v\n", hetsim.CPUConfigs(), hetsim.GPUConfigs())
+	return hex.EncodeToString(h.Sum(nil))[:12]
+})
+
+// DeviceTableHash returns a short hex digest of the simulated device
+// tables (every CPU and GPU configuration, fully rendered).
+func DeviceTableHash() string { return deviceHash() }
+
+// Stamp is the version stamp folded into every persistent cache entry
+// and checked across the wire protocol: client and worker must agree on
+// both the schema generation and the device tables before a result is
+// trusted.
+func Stamp() string {
+	return fmt.Sprintf("hetcore.dist/v%d+%s", CacheVersion, DeviceTableHash())
+}

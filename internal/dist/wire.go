@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"encoding/json"
+
+	"hetcore/internal/engine"
+)
+
+// The wire protocol between the Pool client and a hetserved daemon.
+// JSON over HTTP, two endpoints:
+//
+//	POST /v1/jobs    JobRequest -> 200 JobResponse (job ran; Error set
+//	                 for a deterministic job failure), 400 malformed,
+//	                 405 non-POST, 422 unresolvable key
+//	GET  /v1/health  -> 200 HealthResponse
+//
+// Both sides carry Stamp(); a mismatch means the peers were built from
+// different code or device tables and no result may be trusted.
+const (
+	PathJobs   = "/v1/jobs"
+	PathHealth = "/v1/health"
+)
+
+// JobRequest asks a daemon to execute one engine job by key.
+type JobRequest struct {
+	Key engine.Key `json:"key"`
+}
+
+// JobResponse carries the outcome of one job execution.
+type JobResponse struct {
+	// Key echoes the rendered request key.
+	Key string `json:"key"`
+	// Type and Result are the codec name and JSON payload of the result
+	// (empty when Error is set).
+	Type   string          `json:"type,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the job's own deterministic failure, verbatim.
+	Error string `json:"error,omitempty"`
+	// Stamp is the daemon's version stamp.
+	Stamp string `json:"stamp"`
+	// CacheHit reports whether the daemon served the job without
+	// simulating (its in-memory or persistent cache).
+	CacheHit bool `json:"cache_hit"`
+	// WallMS is the daemon-side wall time of the call.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// wireError is the JSON body of 4xx/5xx responses.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /v1/health payload.
+type HealthResponse struct {
+	OK            bool    `json:"ok"`
+	Stamp         string  `json:"stamp"`
+	Workers       int     `json:"workers"`
+	JobsRun       uint64  `json:"jobs_run"`
+	CacheHits     uint64  `json:"cache_hits"`
+	DiskHits      uint64  `json:"disk_hits"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

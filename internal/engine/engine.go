@@ -16,8 +16,12 @@
 package engine
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,20 +49,81 @@ type Key struct {
 	Variant string
 }
 
+// escapeKeyField makes a key field safe to join with "/": the separator
+// itself and the escape character are percent-encoded. Without this, a
+// Workload or Variant containing "/" could render identically to a
+// different key (e.g. {Workload: "w", Variant: "x/s3/i4"} vs
+// {Workload: "w/s1/i2/x", Seed: 3, Instr: 4}).
+func escapeKeyField(s string) string {
+	if !strings.ContainsAny(s, "/%") {
+		return s
+	}
+	s = strings.ReplaceAll(s, "%", "%25")
+	return strings.ReplaceAll(s, "/", "%2F")
+}
+
 // String renders the key as a stable, human-readable identifier (used
-// for trace slices and error messages).
+// for trace slices and error messages). Fields are escaped so distinct
+// keys never render identically; for filenames use Hash instead.
 func (k Key) String() string {
-	s := fmt.Sprintf("%s/%s/%s/s%d/i%d", k.Device, k.Config, k.Workload, k.Seed, k.Instr)
+	s := fmt.Sprintf("%s/%s/%s/s%d/i%d",
+		escapeKeyField(k.Device), escapeKeyField(k.Config), escapeKeyField(k.Workload),
+		k.Seed, k.Instr)
 	if k.Variant != "" {
-		s += "/" + k.Variant
+		s += "/" + escapeKeyField(k.Variant)
 	}
 	return s
+}
+
+// Hash returns the SHA-256 of a length-prefixed canonical encoding of
+// the key, in hex. Unlike String, it needs no escaping to be collision
+// free, so it is the right identifier for cache filenames and wire
+// protocols.
+func (k Key) Hash() string {
+	h := sha256.New()
+	var n [8]byte
+	put := func(s string) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	put(k.Device)
+	put(k.Config)
+	put(k.Workload)
+	binary.LittleEndian.PutUint64(n[:], k.Seed)
+	h.Write(n[:])
+	binary.LittleEndian.PutUint64(n[:], k.Instr)
+	h.Write(n[:])
+	put(k.Variant)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Job pairs a key with the function that computes its result.
 type Job struct {
 	Key Key
 	Run func() (any, error)
+}
+
+// Cache is a second-level result store consulted on an in-memory miss
+// before a job executes, and written after a job succeeds — typically
+// the persistent content-addressed disk cache in internal/dist. Both
+// methods must be safe for concurrent use. Get returning ok=true must
+// yield a value identical to what running the job would compute; a
+// corrupt or stale entry must surface as a miss, never an error.
+type Cache interface {
+	Get(Key) (any, bool)
+	Put(Key, any)
+}
+
+// Executor runs a job somewhere other than the local lane pool —
+// typically on remote hetserved workers, as extra lanes. Execute returns
+// handled=false to decline a key (unresolvable, no capacity, no healthy
+// workers); the engine then runs the job locally. When handled=true, err
+// is the job's own deterministic error (infrastructure failures must be
+// retried or converted to a decline inside the executor, never surfaced
+// here, because the engine caches errors as final results).
+type Executor interface {
+	Execute(Key) (val any, handled bool, err error)
 }
 
 // entry is one cache slot: done closes when val/err are final.
@@ -76,11 +141,17 @@ type Engine struct {
 	obs   *obs.Observer
 	lanes chan int // worker slots; the value is the lane id
 
+	cache Cache    // optional second-level (persistent) cache
+	exec  Executor // optional remote executor (extra lanes)
+
 	mu      sync.Mutex
 	entries map[Key]*entry
+	inJob   map[uint64]struct{} // goroutine ids currently running a job
 
-	jobsRun   atomic.Uint64
-	cacheHits atomic.Uint64
+	jobsRun    atomic.Uint64
+	cacheHits  atomic.Uint64
+	diskHits   atomic.Uint64
+	remoteJobs atomic.Uint64
 
 	traceOnce sync.Once
 	tracePID  int64
@@ -98,6 +169,7 @@ func New(workers int, o *obs.Observer) *Engine {
 		obs:     o,
 		lanes:   make(chan int, workers),
 		entries: make(map[Key]*entry),
+		inJob:   make(map[uint64]struct{}),
 		start:   time.Now(),
 	}
 	for i := 0; i < workers; i++ {
@@ -106,22 +178,86 @@ func New(workers int, o *obs.Observer) *Engine {
 	return e
 }
 
+// SetCache attaches a second-level result cache. Call before submitting
+// jobs; it is not safe to change while jobs are in flight.
+func (e *Engine) SetCache(c Cache) { e.cache = c }
+
+// SetExecutor attaches a remote executor. Call before submitting jobs;
+// it is not safe to change while jobs are in flight.
+func (e *Engine) SetExecutor(x Executor) { e.exec = x }
+
 // Workers returns the worker-pool width.
 func (e *Engine) Workers() int { return cap(e.lanes) }
 
-// JobsRun returns how many jobs actually executed (cache misses).
+// JobsRun returns how many jobs executed on the local lane pool (misses
+// of every cache level that no executor handled).
 func (e *Engine) JobsRun() uint64 { return e.jobsRun.Load() }
 
-// CacheHits returns how many Do calls were served from the cache.
+// CacheHits returns how many Do calls were served from the in-memory
+// cache.
 func (e *Engine) CacheHits() uint64 { return e.cacheHits.Load() }
 
+// DiskHits returns how many Do calls were served by the second-level
+// cache attached with SetCache.
+func (e *Engine) DiskHits() uint64 { return e.diskHits.Load() }
+
+// RemoteJobs returns how many jobs the executor attached with
+// SetExecutor handled.
+func (e *Engine) RemoteJobs() uint64 { return e.remoteJobs.Load() }
+
+// gid returns the current goroutine's id, parsed from the
+// "goroutine N [state]:" header of its stack trace. It is the only
+// portable way to identify a goroutine and is cheap enough for the
+// once-per-job guard below (one small Stack call).
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// holdsLane reports whether the calling goroutine is currently inside a
+// job function of this engine.
+func (e *Engine) holdsLane() bool {
+	id := gid()
+	e.mu.Lock()
+	_, ok := e.inJob[id]
+	e.mu.Unlock()
+	return ok
+}
+
+// markLane records or clears the calling goroutine as running a job.
+func (e *Engine) markLane(held bool) {
+	id := gid()
+	e.mu.Lock()
+	if held {
+		e.inJob[id] = struct{}{}
+	} else {
+		delete(e.inJob, id)
+	}
+	e.mu.Unlock()
+}
+
 // Do returns the memoized result for key, executing fn at most once per
-// key per engine. The first caller of a key takes a worker lane and
-// runs; concurrent callers of the same key block until it completes and
-// then share its result (errors are cached too — the simulators are
-// deterministic, so retrying cannot succeed). fn must not call back
-// into the same engine: nested jobs could exhaust the lane pool.
+// key per engine. The first caller of a key consults the second-level
+// cache (SetCache), then the remote executor (SetExecutor), and only
+// then takes a worker lane and runs fn locally; concurrent callers of
+// the same key block until it completes and then share its result
+// (errors are cached too — the simulators are deterministic, so
+// retrying cannot succeed). fn must not call back into the same engine:
+// nested jobs could exhaust the lane pool. Such calls are detected via
+// a lane-held goroutine marker and fail fast instead of deadlocking.
 func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
+	if e.holdsLane() {
+		return nil, fmt.Errorf("engine: nested Do(%s) from inside a running job; jobs must not call back into their engine (would deadlock the lane pool)", key)
+	}
 	e.mu.Lock()
 	if ent, ok := e.entries[key]; ok {
 		e.mu.Unlock()
@@ -136,12 +272,43 @@ func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
 	e.entries[key] = ent
 	e.mu.Unlock()
 
+	// Second-level (persistent) cache: consulted before taking a lane,
+	// so disk hits never occupy a compute slot.
+	if e.cache != nil {
+		if v, ok := e.cache.Get(key); ok {
+			ent.val = v
+			close(ent.done)
+			e.diskHits.Add(1)
+			return v, nil
+		}
+	}
+
+	// Remote executor: extra lanes beyond the local pool. A handled job
+	// never takes a local lane; a decline falls through to local
+	// execution.
+	if e.exec != nil {
+		if v, handled, err := e.exec.Execute(key); handled {
+			ent.val, ent.err = v, err
+			close(ent.done)
+			e.remoteJobs.Add(1)
+			if e.cache != nil && err == nil {
+				e.cache.Put(key, v)
+			}
+			return v, err
+		}
+	}
+
 	lane := <-e.lanes
+	e.markLane(true)
 	wallStart := time.Now()
 	ent.val, ent.err = fn()
 	wallDur := time.Since(wallStart)
+	e.markLane(false)
 	e.lanes <- lane
 	close(ent.done)
+	if e.cache != nil && ent.err == nil {
+		e.cache.Put(key, ent.val)
+	}
 
 	e.jobsRun.Add(1)
 	if reg := e.obs.Reg(); reg != nil {
@@ -170,8 +337,13 @@ func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
 // RunAll executes a plan: every job runs concurrently on the worker
 // pool (memoized through Do) and the results come back in job order.
 // On failure the error of the lowest-indexed failing job is returned,
-// so the reported error does not depend on scheduling.
+// so the reported error does not depend on scheduling. Like Do, RunAll
+// must not be called from inside a job of the same engine — the plan's
+// jobs would wait for lanes the caller's job is holding.
 func (e *Engine) RunAll(jobs []Job) ([]any, error) {
+	if e.holdsLane() {
+		return nil, fmt.Errorf("engine: nested RunAll(%d jobs) from inside a running job; jobs must not call back into their engine (would deadlock the lane pool)", len(jobs))
+	}
 	out := make([]any, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup

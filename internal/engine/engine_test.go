@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -187,5 +188,182 @@ func TestKeyString(t *testing.T) {
 	k.Variant = "dvfs:BoostFreq-2.5GHz"
 	if got := k.String(); got != "cpu/AdvHet/barnes/s1/i400000/dvfs:BoostFreq-2.5GHz" {
 		t.Errorf("Key.String() = %q", got)
+	}
+}
+
+// TestKeyStringInjective is the regression test for the aliasing hazard:
+// before field escaping, {Workload:"w", Variant:"x/s3/i4"} and
+// {Workload:"w/s1/i2/x", Seed:3, Instr:4} rendered to the same string.
+// Distinct keys must render (and hash) distinctly.
+func TestKeyStringInjective(t *testing.T) {
+	pairs := [][2]Key{
+		{
+			{Device: "cpu", Config: "c", Workload: "w", Seed: 1, Instr: 2, Variant: "x/s3/i4"},
+			{Device: "cpu", Config: "c", Workload: "w/s1/i2/x", Seed: 3, Instr: 4},
+		},
+		{
+			{Device: "cpu", Config: "a/b", Workload: "w", Seed: 1},
+			{Device: "cpu", Config: "a", Workload: "b/w", Seed: 1},
+		},
+		{
+			// The escape character itself must be escaped, or "a%2Fb"
+			// (literal) collides with "a/b" (escaped).
+			{Device: "cpu", Config: "a%2Fb", Workload: "w", Seed: 1},
+			{Device: "cpu", Config: "a/b", Workload: "w", Seed: 1},
+		},
+	}
+	for i, p := range pairs {
+		if p[0].String() == p[1].String() {
+			t.Errorf("pair %d: distinct keys render identically: %q", i, p[0].String())
+		}
+		if p[0].Hash() == p[1].Hash() {
+			t.Errorf("pair %d: distinct keys hash identically: %s", i, p[0].Hash())
+		}
+	}
+	// And equal keys must still agree.
+	k := Key{Device: "cpu", Config: "c", Workload: "w", Seed: 1, Instr: 2, Variant: "v"}
+	if k.Hash() != k.Hash() || len(k.Hash()) != 64 {
+		t.Errorf("Hash is not a stable 64-hex digest: %q", k.Hash())
+	}
+}
+
+// TestNestedDoFailsFast: a job calling back into its engine must get an
+// immediate error, not deadlock the lane pool.
+func TestNestedDoFailsFast(t *testing.T) {
+	e := New(1, nil)
+	_, err := e.Do(key(0), func() (any, error) {
+		if v, nerr := e.Do(key(1), func() (any, error) { return 1, nil }); nerr == nil {
+			return nil, fmt.Errorf("nested Do succeeded with %v, want fail-fast error", v)
+		} else if !strings.Contains(nerr.Error(), "nested Do") {
+			return nil, fmt.Errorf("nested Do error = %v, want lane-pool diagnostic", nerr)
+		}
+		if _, nerr := e.RunAll([]Job{{Key: key(2), Run: func() (any, error) { return 2, nil }}}); nerr == nil {
+			return nil, errors.New("nested RunAll succeeded, want fail-fast error")
+		} else if !strings.Contains(nerr.Error(), "nested RunAll") {
+			return nil, fmt.Errorf("nested RunAll error = %v, want lane-pool diagnostic", nerr)
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine must still be usable afterwards (lane returned, marker
+	// cleared).
+	if v, err := e.Do(key(3), func() (any, error) { return 3, nil }); err != nil || v.(int) != 3 {
+		t.Fatalf("engine unusable after nested-call rejection: %v, %v", v, err)
+	}
+}
+
+// mapCache is an in-memory Cache for plumbing tests.
+type mapCache struct {
+	mu         sync.Mutex
+	m          map[Key]any
+	gets, puts int
+}
+
+func (c *mapCache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	v, ok := c.m[k]
+	return v, ok
+}
+
+func (c *mapCache) Put(k Key, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	if c.m == nil {
+		c.m = map[Key]any{}
+	}
+	c.m[k] = v
+}
+
+// TestSecondLevelCache: a hit in the attached Cache is served without
+// running the job and counts as a DiskHit, never a JobsRun (the CI gate
+// asserts engine_jobs_run == 0 on fully cache-served reruns).
+func TestSecondLevelCache(t *testing.T) {
+	c := &mapCache{m: map[Key]any{key(0): "cached"}}
+	e := New(2, nil)
+	e.SetCache(c)
+	v, err := e.Do(key(0), func() (any, error) { return nil, errors.New("must not run") })
+	if err != nil || v.(string) != "cached" {
+		t.Fatalf("Do = %v, %v; want cached value", v, err)
+	}
+	if e.DiskHits() != 1 || e.JobsRun() != 0 {
+		t.Errorf("DiskHits=%d JobsRun=%d, want 1/0", e.DiskHits(), e.JobsRun())
+	}
+	// A miss runs locally and writes back.
+	if _, err := e.Do(key(1), func() (any, error) { return "fresh", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.puts != 1 {
+		t.Errorf("cache puts = %d, want 1 (write-back after local run)", c.puts)
+	}
+	if v, ok := c.m[key(1)]; !ok || v.(string) != "fresh" {
+		t.Errorf("written-back entry = %v, %v", v, ok)
+	}
+	// Errors are never written back.
+	if _, err := e.Do(key(2), func() (any, error) { return nil, errors.New("boom") }); err == nil {
+		t.Fatal("want job error")
+	}
+	if c.puts != 1 {
+		t.Errorf("cache puts = %d after failed job, want 1 (errors not persisted)", c.puts)
+	}
+}
+
+// fakeExec handles keys by predicate.
+type fakeExec struct {
+	handle func(Key) bool
+	calls  atomic.Uint64
+}
+
+func (x *fakeExec) Execute(k Key) (any, bool, error) {
+	x.calls.Add(1)
+	if !x.handle(k) {
+		return nil, false, nil
+	}
+	return "remote:" + k.Config, true, nil
+}
+
+// TestExecutorPlumbing: handled jobs bypass the lane pool and count as
+// RemoteJobs; declined jobs fall back to local execution; remote results
+// are written back to the second-level cache.
+func TestExecutorPlumbing(t *testing.T) {
+	c := &mapCache{}
+	e := New(1, nil)
+	e.SetCache(c)
+	x := &fakeExec{handle: func(k Key) bool { return k.Variant == "" }}
+	e.SetExecutor(x)
+
+	v, err := e.Do(key(0), func() (any, error) { return nil, errors.New("must not run locally") })
+	if err != nil || v.(string) != "remote:cfg0" {
+		t.Fatalf("remote Do = %v, %v", v, err)
+	}
+	kv := key(1)
+	kv.Variant = "sweep:x"
+	v, err = e.Do(kv, func() (any, error) { return "local", nil })
+	if err != nil || v.(string) != "local" {
+		t.Fatalf("declined Do = %v, %v; want local fallback", v, err)
+	}
+	if e.RemoteJobs() != 1 || e.JobsRun() != 1 {
+		t.Errorf("RemoteJobs=%d JobsRun=%d, want 1/1", e.RemoteJobs(), e.JobsRun())
+	}
+	if c.puts != 2 {
+		t.Errorf("cache puts = %d, want 2 (remote and local results persisted)", c.puts)
+	}
+	// A disk hit short-circuits before the executor is consulted.
+	before := x.calls.Load()
+	e2 := New(1, nil)
+	e2.SetCache(c)
+	e2.SetExecutor(x)
+	if v, err := e2.Do(key(0), func() (any, error) { return nil, errors.New("no") }); err != nil || v.(string) != "remote:cfg0" {
+		t.Fatalf("disk-served Do = %v, %v", v, err)
+	}
+	if x.calls.Load() != before {
+		t.Error("executor consulted despite a second-level cache hit")
+	}
+	if e2.DiskHits() != 1 {
+		t.Errorf("DiskHits = %d, want 1", e2.DiskHits())
 	}
 }

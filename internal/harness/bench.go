@@ -109,10 +109,13 @@ func MeasureSimRate(instr, seed uint64, jobs int) (BenchRecord, error) {
 	// number tracks the parallel speedup -jobs delivers on this host.
 	// A smaller per-run budget keeps the 6×4 matrix comparable in cost
 	// to the single runs above.
-	suiteOpts := Options{
+	suiteOpts, err := Options{
 		Instructions: instr / 4, Seed: seed,
 		Workloads: benchSuiteWorkloads, Jobs: jobs,
 	}.WithSharedEngine()
+	if err != nil {
+		return rec, err
+	}
 	start = time.Now()
 	if _, _, err := cpuSuite(fig7Configs, suiteOpts); err != nil {
 		return rec, err

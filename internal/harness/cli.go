@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"hetcore/internal/engine"
 	"hetcore/internal/obs"
 )
 
@@ -20,6 +21,7 @@ type SimFlags struct {
 	Workloads    string
 	Kernels      string
 	Jobs         int
+	Dist         DistFlags
 }
 
 // AddSimFlags registers the shared simulation flags on fs.
@@ -30,6 +32,7 @@ func AddSimFlags(fs *flag.FlagSet) *SimFlags {
 	fs.StringVar(&s.Workloads, "workloads", "", "comma-separated CPU workload subset")
 	fs.StringVar(&s.Kernels, "kernels", "", "comma-separated GPU kernel subset")
 	AddJobsFlag(fs, &s.Jobs)
+	addDistFlags(fs, &s.Dist)
 	return &s
 }
 
@@ -38,9 +41,37 @@ func AddJobsFlag(fs *flag.FlagSet, jobs *int) {
 	fs.IntVar(jobs, "jobs", 0, "concurrent simulation jobs (0 = NumCPU); results are identical for any value")
 }
 
+// DistFlags are the distribution flags every CLI shares: the persistent
+// result cache and the remote worker fleet (internal/dist).
+type DistFlags struct {
+	CacheDir string
+	Remote   string
+}
+
+// AddDistFlags registers the shared distribution flags on fs.
+func AddDistFlags(fs *flag.FlagSet) *DistFlags {
+	var d DistFlags
+	addDistFlags(fs, &d)
+	return &d
+}
+
+func addDistFlags(fs *flag.FlagSet, d *DistFlags) {
+	fs.StringVar(&d.CacheDir, "cache-dir", "", "persistent result-cache directory; repeated invocations skip already-simulated jobs")
+	fs.StringVar(&d.Remote, "remote", "", "comma-separated hetserved workers (host:port) used as extra engine lanes")
+}
+
+// RemoteList returns the parsed -remote worker addresses.
+func (d *DistFlags) RemoteList() []string {
+	if d.Remote == "" {
+		return nil
+	}
+	return strings.Split(d.Remote, ",")
+}
+
 // Options converts the parsed flags into experiment options.
 func (s *SimFlags) Options() Options {
-	opts := Options{Instructions: s.Instructions, Seed: s.Seed, Jobs: s.Jobs}
+	opts := Options{Instructions: s.Instructions, Seed: s.Seed, Jobs: s.Jobs,
+		CacheDir: s.Dist.CacheDir, Remote: s.Dist.RemoteList()}
 	if s.Workloads != "" {
 		opts.Workloads = strings.Split(s.Workloads, ",")
 	}
@@ -85,6 +116,9 @@ type ObsSession struct {
 	// Manifest fields, set by the caller before Close.
 	Experiments []string
 	Seed        uint64
+	// Engine, when set, contributes its job/cache/remote stats to the
+	// report manifest.
+	Engine *engine.Engine
 
 	flags   ObsFlags
 	command []string
@@ -221,6 +255,12 @@ func (s *ObsSession) Report() obs.Report {
 		Seed:        s.Seed,
 		Runs:        len(runs),
 		WallSeconds: wall,
+	}
+	if s.Engine != nil {
+		m.EngineJobsRun = s.Engine.JobsRun()
+		m.EngineCacheHits = s.Engine.CacheHits()
+		m.EngineDiskHits = s.Engine.DiskHits()
+		m.EngineRemoteJobs = s.Engine.RemoteJobs()
 	}
 	if wall > 0 {
 		m.SimRateKIPS = float64(insts) / wall / 1e3

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hetcore/internal/device"
+	"hetcore/internal/dist"
 	"hetcore/internal/energy"
 	"hetcore/internal/engine"
 	"hetcore/internal/governor"
@@ -36,14 +37,50 @@ type Options struct {
 	// per process — fig7/8/9 then share one CPU suite. Nil builds a
 	// private engine per experiment call.
 	Engine *engine.Engine
+	// CacheDir, when non-empty, attaches a persistent content-addressed
+	// result cache (internal/dist) to the engine WithSharedEngine
+	// builds, so repeated invocations skip already-simulated keys.
+	CacheDir string
+	// Remote lists hetserved workers ("host:port") attached as extra
+	// engine lanes by WithSharedEngine.
+	Remote []string
 }
 
 // WithSharedEngine returns a copy of o carrying a fresh engine built
-// from o.Jobs and o.Obs, to be shared by every experiment run with the
-// returned options.
-func (o Options) WithSharedEngine() Options {
-	o.Engine = engine.New(o.Jobs, o.Obs)
-	return o
+// from o.Jobs, o.Obs, o.CacheDir and o.Remote, to be shared by every
+// experiment run with the returned options. It fails when the cache
+// directory cannot be created or no -remote worker address parses.
+func (o Options) WithSharedEngine() (Options, error) {
+	eng, err := NewEngine(o.Jobs, o.CacheDir, o.Remote, o.Obs)
+	if err != nil {
+		return o, err
+	}
+	o.Engine = eng
+	return o, nil
+}
+
+// NewEngine builds a run-plan engine with the distribution attachments:
+// a persistent disk cache under cacheDir (when non-empty) and a remote
+// worker pool over the given hetserved addresses (when non-empty). The
+// shared CLI flags -jobs/-cache-dir/-remote map directly onto the
+// arguments.
+func NewEngine(jobs int, cacheDir string, remote []string, o *obs.Observer) (*engine.Engine, error) {
+	eng := engine.New(jobs, o)
+	if cacheDir != "" {
+		c, err := dist.OpenCache(cacheDir, o)
+		if err != nil {
+			return nil, fmt.Errorf("harness: opening -cache-dir: %w", err)
+		}
+		eng.SetCache(c)
+	}
+	if len(remote) > 0 {
+		p, err := dist.NewPool(remote, dist.PoolConfig{Obs: o})
+		if err != nil {
+			return nil, fmt.Errorf("harness: -remote: %w", err)
+		}
+		eng.SetExecutor(p)
+	}
+	return eng, nil
 }
 
 // engine returns the shared engine, or a private one for this call.

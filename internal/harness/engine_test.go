@@ -16,10 +16,13 @@ var engineTestWorkloads = []string{"barnes", "radix"}
 // worker count and returns the concatenated formatted tables.
 func renderFigs(t *testing.T, jobs int) string {
 	t.Helper()
-	opts := Options{
+	opts, err := Options{
 		Instructions: 40_000, Seed: 1,
 		Workloads: engineTestWorkloads, Jobs: jobs,
 	}.WithSharedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf strings.Builder
 	for _, exp := range []struct {
 		name string
@@ -57,10 +60,13 @@ func TestFigTablesDeterministicAcrossJobs(t *testing.T) {
 // once and serves the other two figures from cache.
 func TestEngineCacheSharedAcrossFigures(t *testing.T) {
 	o := &obs.Observer{Metrics: obs.NewRegistry()}
-	opts := Options{
+	opts, err := Options{
 		Instructions: 40_000, Seed: 1,
 		Workloads: engineTestWorkloads, Jobs: 4, Obs: o,
 	}.WithSharedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, run := range []func(Options) (Table, error){Fig7, Fig8, Fig9} {
 		if _, err := run(opts); err != nil {
 			t.Fatal(err)

@@ -142,6 +142,15 @@ type Manifest struct {
 	Runs        int      `json:"runs"`
 	WallSeconds float64  `json:"wall_seconds"`
 	SimRateKIPS float64  `json:"sim_rate_kips"` // aggregate instructions/wall-ms
+
+	// Run-plan engine stats: where each job of the invocation came
+	// from. EngineJobsRun counts local simulations; cache hits split
+	// into in-memory (same process), disk (persistent -cache-dir) and
+	// remote (-remote workers). All zero when no engine ran.
+	EngineJobsRun    uint64 `json:"engine_jobs_run"`
+	EngineCacheHits  uint64 `json:"engine_cache_hits"`
+	EngineDiskHits   uint64 `json:"engine_disk_hits"`
+	EngineRemoteJobs uint64 `json:"engine_remote_jobs"`
 }
 
 // Report is the -metrics-out payload: manifest, metrics snapshot and the

@@ -58,15 +58,29 @@ func StartServer(addr string, o *Observer) (*Server, error) {
 		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
 	}
 	s := &Server{obs: o, ln: ln, start: time.Now()}
+	s.srv = &http.Server{Handler: s.handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// handler builds the endpoint mux for this server's observer.
+func (s *Server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/metrics", s.handleMetricsProm)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/events", s.handleEvents)
-	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
-	return s, nil
+	return mux
+}
+
+// NewHandler returns an http.Handler serving o's live state — the same
+// endpoints StartServer exposes — for embedding into another server's
+// mux (e.g. the hetserved daemon, which mounts it next to its /v1 job
+// API). Uptime is measured from this call.
+func NewHandler(o *Observer) http.Handler {
+	s := &Server{obs: o, start: time.Now()}
+	return s.handler()
 }
 
 // Addr returns the bound listen address (useful with port 0).

@@ -7,7 +7,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+served_pid=""
+cleanup() {
+    [ -n "$served_pid" ] && kill "$served_pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -53,5 +58,57 @@ echo "== regression gate (hetcore diff) =="
 go build -o "$tmp/hetcore" ./cmd/hetcore
 "$tmp/hetcore" bench -instr 300000 -o "$tmp/BENCH_sim_rate.json" >/dev/null
 "$tmp/hetcore" diff -rate-tol 75 scripts/baseline/BENCH_sim_rate.json "$tmp/BENCH_sim_rate.json"
+
+echo "== dist gate (persistent cache + hetserved) =="
+# End-to-end check of internal/dist: run the same experiment twice
+# against one -cache-dir — the second run must simulate nothing
+# (engine_jobs_run == 0) and print byte-identical tables — then a third
+# time through a live hetserved daemon, which must also match.
+go build -o "$tmp/hetserved" ./cmd/hetserved
+"$tmp/hetserved" -addr 127.0.0.1:0 -addr-file "$tmp/hetserved.addr" \
+    -cache-dir "$tmp/server-cache" 2>"$tmp/hetserved.log" &
+served_pid=$!
+
+dist_run() {
+    # $1: output file, extra args follow.
+    out=$1; shift
+    "$tmp/hetcore" run -exp fig7 -workloads barnes,radix -instr 40000 \
+        "$@" >"$out"
+}
+
+dist_run "$tmp/dist-run1.txt" -cache-dir "$tmp/client-cache"
+dist_run "$tmp/dist-run2.txt" -cache-dir "$tmp/client-cache" -metrics-out "$tmp/dist-run2.json"
+cmp "$tmp/dist-run1.txt" "$tmp/dist-run2.txt" || {
+    echo "cached rerun output differs from the first run" >&2
+    exit 1
+}
+if ! grep -q '"engine_jobs_run": 0' "$tmp/dist-run2.json"; then
+    echo "cached rerun still simulated (engine_jobs_run != 0):" >&2
+    grep '"engine_' "$tmp/dist-run2.json" >&2
+    exit 1
+fi
+
+# Wait for the daemon to publish its address (it builds in background
+# while the cache runs above execute).
+i=0
+while [ ! -s "$tmp/hetserved.addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$served_pid" 2>/dev/null; then
+        echo "hetserved did not start:" >&2
+        cat "$tmp/hetserved.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/hetserved.addr")
+
+dist_run "$tmp/dist-run3.txt" -remote "$addr"
+cmp "$tmp/dist-run1.txt" "$tmp/dist-run3.txt" || {
+    echo "remote run output differs from the local run" >&2
+    cat "$tmp/hetserved.log" >&2
+    exit 1
+}
+kill "$served_pid" 2>/dev/null
+served_pid=""
 
 echo "CI OK"
