@@ -12,8 +12,9 @@
 //
 // "run" executes one experiment; "all" executes the full evaluation in
 // paper order; "bench" measures the simulation rate of this host;
-// "diff" compares two -metrics-out reports or two bench records and
-// exits non-zero when a metric regressed beyond its threshold;
+// "diff" compares two -metrics-out reports, two bench records or two
+// hetload BENCH_load.json records and exits non-zero when a metric
+// regressed beyond its threshold;
 // "version" prints the internal/dist cache/wire compatibility stamp.
 // -cache-dir makes every simulated point persistent (content-addressed
 // under SHA-256 of the engine key plus the version stamp), so repeated
@@ -85,7 +86,7 @@ Commands:
   run -exp <id> [...]  run one experiment (e.g. fig7, table1)
   all [...]            run every experiment in paper order
   bench [...]          measure this host's simulation rate
-  diff old new         compare two reports/bench records, exit 1 on regression
+  diff old new         compare two reports/bench/load records, exit 1 on regression
   version              print the cache/wire version stamp
 
 Flags for run/all:

@@ -8,10 +8,17 @@
 // run-plan engine (internal/engine) and answers health probes on
 // /v1/health. With -cache-dir every result is also written to the
 // persistent content-addressed cache, so repeated jobs — from any
-// client — are served from disk without simulating. The observability
-// endpoints of the live dashboard (/metrics.json, /metrics, /series,
-// /events and the HTML index) are mounted on the same listener, so an
-// operator can watch a fleet worker with a browser while it serves.
+// client — are served from disk without simulating. Every request is
+// instrumented (per-endpoint latency histograms, per-status error
+// counters, queue-depth/in-flight gauges, a bounded request log) and
+// summarised on GET /v1/stats; job responses carry the server-side
+// queue/cache/execute/encode timing breakdown plus the client's trace
+// context, which `-remote -trace-out` clients merge into per-worker
+// Perfetto tracks. The observability endpoints of the live dashboard
+// (/metrics.json, /metrics, /series, /events and the HTML index) are
+// mounted on the same listener, so an operator can watch a fleet
+// worker with a browser while it serves. cmd/hetload drives synthetic
+// load at a daemon and gates its latency quantiles.
 //
 // Clients (hetcore, hetsweep, hetrace) point -remote at one or more
 // daemons; the stamp in every response lets a client reject workers

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunLoadClosedLoop: a short closed-loop run against a live daemon
+// yields a well-formed record — schema, throughput, ordered quantiles,
+// no errors, and a cache-hit stream dominated by the warmed keys.
+func TestRunLoadClosedLoop(t *testing.T) {
+	d := startDaemon(t, DaemonConfig{Jobs: 2})
+	rec, err := RunLoad(LoadConfig{
+		Addr: d.Addr(), Duration: 300 * time.Millisecond,
+		Concurrency: 4, ColdFraction: 0.25, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != LoadSchemaVersion {
+		t.Errorf("schema = %q, want %q", rec.Schema, LoadSchemaVersion)
+	}
+	if rec.Mode != "closed" || rec.Concurrency != 4 {
+		t.Errorf("mode/concurrency = %s/%d, want closed/4", rec.Mode, rec.Concurrency)
+	}
+	if rec.Requests == 0 || rec.RequestsPerSec <= 0 {
+		t.Fatalf("no requests measured: %+v", rec)
+	}
+	if rec.Errors != 0 {
+		t.Errorf("errors = %d, want 0 against a healthy daemon", rec.Errors)
+	}
+	if !(rec.LatencyP50MS > 0 && rec.LatencyP50MS <= rec.LatencyP95MS &&
+		rec.LatencyP95MS <= rec.LatencyP99MS) {
+		t.Errorf("quantiles not ordered: p50=%f p95=%f p99=%f",
+			rec.LatencyP50MS, rec.LatencyP95MS, rec.LatencyP99MS)
+	}
+	if rec.CacheHits == 0 {
+		t.Error("no cache hits despite warmed hot keys")
+	}
+	if rec.ColdJobs == 0 {
+		t.Error("no cold jobs despite cold fraction 0.25")
+	}
+	if rec.CacheHits+rec.ColdJobs > rec.Requests {
+		t.Errorf("accounting: hits(%d) + cold(%d) > requests(%d)",
+			rec.CacheHits, rec.ColdJobs, rec.Requests)
+	}
+}
+
+// TestRunLoadOpenLoop: open-loop mode paces arrivals at the target rate
+// and reports the mode and target in the record.
+func TestRunLoadOpenLoop(t *testing.T) {
+	d := startDaemon(t, DaemonConfig{Jobs: 2})
+	rec, err := RunLoad(LoadConfig{
+		Addr: d.Addr(), Duration: 400 * time.Millisecond,
+		Concurrency: 4, RatePerSec: 200, ColdFraction: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode != "open" || rec.RatePerSec != 200 {
+		t.Errorf("mode/rate = %s/%g, want open/200", rec.Mode, rec.RatePerSec)
+	}
+	if rec.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	// Arrivals are paced: issued + shed can never exceed the schedule.
+	budget := uint64(200 * 0.4 * 1.5) // generous slack for timer jitter
+	if rec.Requests+rec.Shed > budget {
+		t.Errorf("requests(%d) + shed(%d) exceed the arrival schedule (~%d)",
+			rec.Requests, rec.Shed, budget)
+	}
+	if rec.ColdJobs != 0 {
+		t.Errorf("cold jobs = %d with cold fraction 0", rec.ColdJobs)
+	}
+}
+
+// TestRunLoadFailures: unreachable daemons and bad configs are errors,
+// not records.
+func TestRunLoadFailures(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Error("RunLoad without an address succeeded")
+	}
+	if _, err := RunLoad(LoadConfig{Addr: "127.0.0.1:1", Timeout: time.Second,
+		Duration: 50 * time.Millisecond}); err == nil {
+		t.Error("RunLoad against a dead port succeeded")
+	}
+	d := startDaemon(t, DaemonConfig{Jobs: 1})
+	if _, err := RunLoad(LoadConfig{Addr: d.Addr(), Workload: "no-such-workload",
+		Duration: 50 * time.Millisecond}); err == nil {
+		t.Error("RunLoad with an unknown workload succeeded")
+	}
+}

@@ -14,7 +14,9 @@ import (
 // simulator semantics change in a way the device-table hash cannot see —
 // every existing cache entry and remote worker then self-invalidates
 // through the stamp mismatch instead of serving stale results.
-const CacheVersion = 1
+// v2: fleet observability — request envelopes carry trace context and
+// the response carries a server-side timing breakdown.
+const CacheVersion = 2
 
 var deviceHash = sync.OnceValue(func() string {
 	// Hash the fully-rendered CPU and GPU configuration tables: any

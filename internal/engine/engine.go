@@ -104,6 +104,32 @@ type Job struct {
 	Run func() (any, error)
 }
 
+// JobTiming breaks one Do call into its serving phases, in wall-clock
+// milliseconds. Which fields are non-zero depends on Source:
+//
+//	"memory"  QueueMS  — wait for the caller already computing the key
+//	"disk"    CacheMS  — second-level cache lookup that hit
+//	"remote"  CacheMS (lookup that missed) + ExecMS (executor round trip)
+//	"run"     CacheMS + QueueMS (lane wait) + ExecMS (the job function)
+//
+// Timing is host measurement, never part of the deterministic result.
+type JobTiming struct {
+	// Source says which level served the job: "memory", "disk", "remote"
+	// or "run".
+	Source string `json:"source"`
+	// QueueMS is time spent waiting — for a local lane ("run") or for
+	// another caller's in-flight computation ("memory").
+	QueueMS float64 `json:"queue_ms"`
+	// CacheMS is the second-level cache lookup time.
+	CacheMS float64 `json:"cache_ms"`
+	// ExecMS is the execution time: the job function locally, or the
+	// remote executor's round trip.
+	ExecMS float64 `json:"exec_ms"`
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
 // Cache is a second-level result store consulted on an in-memory miss
 // before a job executes, and written after a job succeeds — typically
 // the persistent content-addressed disk cache in internal/dist. Both
@@ -153,6 +179,9 @@ type Engine struct {
 	diskHits   atomic.Uint64
 	remoteJobs atomic.Uint64
 
+	queued   atomic.Int64 // Do calls waiting for a local lane
+	inFlight atomic.Int64 // jobs currently executing on a local lane
+
 	traceOnce sync.Once
 	tracePID  int64
 	start     time.Time
@@ -160,7 +189,8 @@ type Engine struct {
 
 // New returns an engine with the given worker count (<= 0 means
 // runtime.NumCPU()). o receives the engine.jobs_total / engine.cache_hits
-// counters and per-job trace slices; nil disables both.
+// / engine.disk_hits / engine.remote_jobs counters and per-job trace
+// slices; nil disables both.
 func New(workers int, o *obs.Observer) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -204,6 +234,14 @@ func (e *Engine) DiskHits() uint64 { return e.diskHits.Load() }
 // RemoteJobs returns how many jobs the executor attached with
 // SetExecutor handled.
 func (e *Engine) RemoteJobs() uint64 { return e.remoteJobs.Load() }
+
+// QueueDepth returns how many Do calls are currently waiting for a free
+// local lane (jobs that missed every cache level and were not handled
+// remotely).
+func (e *Engine) QueueDepth() int64 { return e.queued.Load() }
+
+// InFlight returns how many jobs are currently executing on local lanes.
+func (e *Engine) InFlight() int64 { return e.inFlight.Load() }
 
 // gid returns the current goroutine's id, parsed from the
 // "goroutine N [state]:" header of its stack trace. It is the only
@@ -255,18 +293,30 @@ func (e *Engine) markLane(held bool) {
 // nested jobs could exhaust the lane pool. Such calls are detected via
 // a lane-held goroutine marker and fail fast instead of deadlocking.
 func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
+	v, _, err := e.DoTimed(key, fn)
+	return v, err
+}
+
+// DoTimed is Do plus a timing breakdown of how the call was served: the
+// phase durations and which level (memory, disk, remote, local run)
+// produced the value. The hetserved daemon uses it to return a
+// server-side timing breakdown per wire request; Do discards it.
+func (e *Engine) DoTimed(key Key, fn func() (any, error)) (any, JobTiming, error) {
+	var tm JobTiming
 	if e.holdsLane() {
-		return nil, fmt.Errorf("engine: nested Do(%s) from inside a running job; jobs must not call back into their engine (would deadlock the lane pool)", key)
+		return nil, tm, fmt.Errorf("engine: nested Do(%s) from inside a running job; jobs must not call back into their engine (would deadlock the lane pool)", key)
 	}
 	e.mu.Lock()
 	if ent, ok := e.entries[key]; ok {
 		e.mu.Unlock()
+		waitStart := time.Now()
 		<-ent.done
+		tm.Source, tm.QueueMS = "memory", ms(time.Since(waitStart))
 		e.cacheHits.Add(1)
 		if reg := e.obs.Reg(); reg != nil {
 			reg.Counter("engine.cache_hits").Inc()
 		}
-		return ent.val, ent.err
+		return ent.val, tm, ent.err
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.entries[key] = ent
@@ -275,11 +325,18 @@ func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
 	// Second-level (persistent) cache: consulted before taking a lane,
 	// so disk hits never occupy a compute slot.
 	if e.cache != nil {
-		if v, ok := e.cache.Get(key); ok {
+		lookupStart := time.Now()
+		v, ok := e.cache.Get(key)
+		tm.CacheMS = ms(time.Since(lookupStart))
+		if ok {
 			ent.val = v
 			close(ent.done)
+			tm.Source = "disk"
 			e.diskHits.Add(1)
-			return v, nil
+			if reg := e.obs.Reg(); reg != nil {
+				reg.Counter("engine.disk_hits").Inc()
+			}
+			return v, tm, nil
 		}
 	}
 
@@ -287,23 +344,35 @@ func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
 	// never takes a local lane; a decline falls through to local
 	// execution.
 	if e.exec != nil {
+		execStart := time.Now()
 		if v, handled, err := e.exec.Execute(key); handled {
 			ent.val, ent.err = v, err
 			close(ent.done)
+			tm.Source, tm.ExecMS = "remote", ms(time.Since(execStart))
 			e.remoteJobs.Add(1)
+			if reg := e.obs.Reg(); reg != nil {
+				reg.Counter("engine.remote_jobs").Inc()
+			}
 			if e.cache != nil && err == nil {
 				e.cache.Put(key, v)
 			}
-			return v, err
+			return v, tm, err
 		}
 	}
 
+	e.queued.Add(1)
+	queueStart := time.Now()
 	lane := <-e.lanes
+	tm.QueueMS = ms(time.Since(queueStart))
+	e.queued.Add(-1)
+	e.inFlight.Add(1)
 	e.markLane(true)
 	wallStart := time.Now()
 	ent.val, ent.err = fn()
 	wallDur := time.Since(wallStart)
+	tm.Source, tm.ExecMS = "run", ms(wallDur)
 	e.markLane(false)
+	e.inFlight.Add(-1)
 	e.lanes <- lane
 	close(ent.done)
 	if e.cache != nil && ent.err == nil {
@@ -331,7 +400,7 @@ func (e *Engine) Do(key Key, fn func() (any, error)) (any, error) {
 			map[string]any{"device": key.Device, "config": key.Config,
 				"workload": key.Workload})
 	}
-	return ent.val, ent.err
+	return ent.val, tm, ent.err
 }
 
 // RunAll executes a plan: every job runs concurrently on the worker

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDoTimedSources: every serving level reports itself in the timing
+// breakdown with the phase durations that level actually spent.
+func TestDoTimedSources(t *testing.T) {
+	c := &mapCache{m: map[Key]any{key(1): "disk"}}
+	x := &fakeExec{handle: func(k Key) bool { return k.Config == "cfg2" }}
+	e := New(2, nil)
+	e.SetCache(c)
+	e.SetExecutor(x)
+
+	// Local run: Source "run" with a measurable ExecMS.
+	v, tm, err := e.DoTimed(key(0), func() (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		return "ran", nil
+	})
+	if err != nil || v.(string) != "ran" {
+		t.Fatalf("DoTimed = %v, %v", v, err)
+	}
+	if tm.Source != "run" || tm.ExecMS <= 0 {
+		t.Errorf("local run timing = %+v, want Source=run with ExecMS > 0", tm)
+	}
+
+	// Disk hit: Source "disk", no execution.
+	if _, tm, err = e.DoTimed(key(1), func() (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Source != "disk" || tm.ExecMS != 0 {
+		t.Errorf("disk hit timing = %+v, want Source=disk with ExecMS == 0", tm)
+	}
+
+	// Remote execution: Source "remote".
+	if _, tm, err = e.DoTimed(key(2), func() (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Source != "remote" {
+		t.Errorf("remote timing = %+v, want Source=remote", tm)
+	}
+
+	// Memory hit: a repeated key reports Source "memory".
+	if _, tm, err = e.DoTimed(key(0), func() (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Source != "memory" {
+		t.Errorf("memory hit timing = %+v, want Source=memory", tm)
+	}
+}
+
+// TestQueueDepthAndInFlight: with a single lane and a blocked job, a
+// second distinct key queues; both gauges drain to zero afterwards.
+func TestQueueDepthAndInFlight(t *testing.T) {
+	e := New(1, nil)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		e.Do(key(0), func() (any, error) { //nolint:errcheck
+			close(started)
+			<-release
+			return 0, nil
+		})
+	}()
+	<-started
+	if got := e.InFlight(); got != 1 {
+		t.Errorf("InFlight = %d during a running job, want 1", got)
+	}
+	go func() {
+		defer wg.Done()
+		e.Do(key(1), func() (any, error) { return 1, nil }) //nolint:errcheck
+	}()
+	// The second job must end up waiting on the single lane.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueueDepth = %d, want 1 (second job queued)", e.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if e.QueueDepth() != 0 || e.InFlight() != 0 {
+		t.Errorf("after drain: QueueDepth=%d InFlight=%d, want 0/0", e.QueueDepth(), e.InFlight())
+	}
+	// The queued job reported its lane wait.
+	_, tm, err := e.DoTimed(key(1), func() (any, error) { return nil, nil })
+	if err != nil || tm.Source != "memory" {
+		t.Fatalf("repeat DoTimed = %+v, %v", tm, err)
+	}
+}

@@ -8,15 +8,17 @@ import (
 	"os"
 	"sort"
 
+	"hetcore/internal/dist"
 	"hetcore/internal/obs"
 )
 
 // This file is the cross-run regression gate: `hetcore diff` loads two
-// run-record manifests (the -metrics-out reports, schema hetcore.obs/v1)
-// or two BENCH_sim_rate.json files, computes per-metric deltas against
-// configurable thresholds, renders a readable table and reports whether
-// anything regressed. scripts/ci.sh runs it against the committed
-// baseline so sim-rate or paper-metric drift fails CI.
+// run-record manifests (the -metrics-out reports, schema hetcore.obs/v1),
+// two BENCH_sim_rate.json files, or two BENCH_load.json load-test
+// records, computes per-metric deltas against configurable thresholds,
+// renders a readable table and reports whether anything regressed.
+// scripts/ci.sh runs it against the committed baselines so sim-rate,
+// paper-metric or serving-latency drift fails CI.
 
 // DiffOptions sets the regression thresholds. Deterministic simulation
 // metrics (IPC, time, energy, instruction counts — fixed for a given
@@ -172,14 +174,15 @@ func classify(old, new float64, dir diffDirection, tol float64) (deltaPct float6
 	return deltaPct, "ok"
 }
 
-// diffFile is the sniffed union of the two supported payloads.
+// diffFile is the sniffed union of the supported payloads.
 type diffFile struct {
 	report *obs.Report
 	bench  *BenchRecord
+	load   *dist.LoadRecord
 }
 
 // loadDiffFile reads path and decides whether it is a -metrics-out
-// report or a BENCH_sim_rate.json record.
+// report, a BENCH_sim_rate.json record or a BENCH_load.json record.
 func loadDiffFile(path string) (diffFile, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -206,8 +209,18 @@ func loadDiffFile(path string) (diffFile, error) {
 			return diffFile{}, fmt.Errorf("%s: decoding bench record: %w", path, err)
 		}
 		return diffFile{bench: &b}, nil
+	case probe["requests_per_sec"] != nil:
+		var l dist.LoadRecord
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return diffFile{}, fmt.Errorf("%s: decoding load record: %w", path, err)
+		}
+		if l.Schema != dist.LoadSchemaVersion {
+			return diffFile{}, fmt.Errorf("%s: schema %q, want %q",
+				path, l.Schema, dist.LoadSchemaVersion)
+		}
+		return diffFile{load: &l}, nil
 	default:
-		return diffFile{}, fmt.Errorf("%s: neither a metrics report (manifest) nor a bench record (cpu_insts_per_sec)", path)
+		return diffFile{}, fmt.Errorf("%s: not a metrics report (manifest), bench record (cpu_insts_per_sec) or load record (requests_per_sec)", path)
 	}
 }
 
@@ -226,8 +239,10 @@ func DiffFiles(oldPath, newPath string, opts DiffOptions) (DiffResult, error) {
 		return DiffReports(*a.report, *b.report, opts), nil
 	case a.bench != nil && b.bench != nil:
 		return DiffBench(*a.bench, *b.bench, opts), nil
+	case a.load != nil && b.load != nil:
+		return DiffLoad(*a.load, *b.load, opts), nil
 	default:
-		return DiffResult{}, fmt.Errorf("cannot diff a metrics report against a bench record (%s vs %s)", oldPath, newPath)
+		return DiffResult{}, fmt.Errorf("cannot diff payloads of different kinds (%s vs %s)", oldPath, newPath)
 	}
 }
 
@@ -251,6 +266,27 @@ func DiffBench(old, new BenchRecord, opts DiffOptions) DiffResult {
 		add("suite_runs", float64(old.SuiteRuns), float64(new.SuiteRuns), exactMatch, opts.RelTol)
 		add("suite_runs_per_sec", old.SuiteRunsPerSec, new.SuiteRunsPerSec, higherBetter, opts.RateTol)
 	}
+	return res
+}
+
+// DiffLoad compares two load-test records direction-aware: throughput
+// may only fall, latency quantiles and the error rate may only rise, by
+// more than RateTol, before the gate trips. Everything here is host
+// timing, so RateTol applies throughout — except the error rate, which
+// is a correctness signal and uses the strict RelTol (a baseline of
+// zero errors regresses on the first error).
+func DiffLoad(old, new dist.LoadRecord, opts DiffOptions) DiffResult {
+	opts = opts.withDefaults()
+	res := DiffResult{Kind: "load"}
+	add := func(metric string, o, n float64, dir diffDirection, tol float64) {
+		d, st := classify(o, n, dir, tol)
+		res.Rows = append(res.Rows, DiffRow{Metric: metric, Old: o, New: n, DeltaPct: d, Status: st})
+	}
+	add("requests_per_sec", old.RequestsPerSec, new.RequestsPerSec, higherBetter, opts.RateTol)
+	add("latency_p50_ms", old.LatencyP50MS, new.LatencyP50MS, lowerBetter, opts.RateTol)
+	add("latency_p95_ms", old.LatencyP95MS, new.LatencyP95MS, lowerBetter, opts.RateTol)
+	add("latency_p99_ms", old.LatencyP99MS, new.LatencyP99MS, lowerBetter, opts.RateTol)
+	add("error_rate", old.ErrorRate, new.ErrorRate, lowerBetter, opts.RelTol)
 	return res
 }
 

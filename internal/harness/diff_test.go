@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"hetcore/internal/dist"
 	"hetcore/internal/obs"
 )
 
@@ -127,6 +128,55 @@ func TestDiffBench(t *testing.T) {
 	}
 }
 
+func fixtureLoadRecord() dist.LoadRecord {
+	return dist.LoadRecord{
+		Schema: dist.LoadSchemaVersion, Mode: "closed", Concurrency: 4,
+		DurationSeconds: 2, ColdFraction: 0.1,
+		Requests: 1000, RequestsPerSec: 500,
+		LatencyMeanMS: 2, LatencyP50MS: 1.5, LatencyP95MS: 5, LatencyP99MS: 10,
+	}
+}
+
+func TestDiffLoad(t *testing.T) {
+	old := fixtureLoadRecord()
+	if res := DiffLoad(old, old, DiffOptions{}); res.Regressed() {
+		t.Fatalf("identical load records regressed: %+v", res.Regressions())
+	}
+	// p99 blow-up beyond RateTol regresses; the direction is respected —
+	// the same magnitude of improvement passes.
+	slow := old
+	slow.LatencyP99MS = 100
+	res := DiffLoad(old, slow, DiffOptions{})
+	if !res.Regressed() {
+		t.Fatal("10x p99 not flagged")
+	}
+	if got := res.Regressions()[0].Metric; got != "latency_p99_ms" {
+		t.Fatalf("regressed metric = %s, want latency_p99_ms", got)
+	}
+	if res := DiffLoad(slow, old, DiffOptions{}); res.Regressed() {
+		t.Fatalf("p99 improvement flagged: %+v", res.Regressions())
+	}
+	// Throughput collapse regresses, jitter does not.
+	stall := old
+	stall.RequestsPerSec = 100
+	if res := DiffLoad(old, stall, DiffOptions{}); !res.Regressed() {
+		t.Fatal("-80% throughput not flagged")
+	}
+	jitter := old
+	jitter.RequestsPerSec = 450
+	jitter.LatencyP99MS = 11
+	if res := DiffLoad(old, jitter, DiffOptions{}); res.Regressed() {
+		t.Fatalf("host jitter flagged: %+v", res.Regressions())
+	}
+	// Any error against a zero-error baseline regresses, regardless of
+	// how loose the rate tolerance is.
+	errs := old
+	errs.Errors, errs.ErrorRate = 3, 0.003
+	if res := DiffLoad(old, errs, DiffOptions{RateTol: 10}); !res.Regressed() {
+		t.Fatal("new errors against a clean baseline not flagged")
+	}
+}
+
 func TestDiffFilesSniffing(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, gen func(w io.Writer) error) string {
@@ -148,6 +198,7 @@ func TestDiffFilesSniffing(t *testing.T) {
 	bench := BenchRecord{Schema: "hetcore.bench/v1", CPUInstsPerSec: 1e6,
 		GPUWaveInstsPerSec: 2e6, CPUInstructions: 2000000, GPUWaveInsts: 500000}
 	benchPath := write("bench.json", bench.WriteJSON)
+	loadPath := write("load.json", fixtureLoadRecord().WriteJSON)
 
 	res, err := DiffFiles(repPath, repPath, DiffOptions{})
 	if err != nil {
@@ -163,8 +214,18 @@ func TestDiffFilesSniffing(t *testing.T) {
 	if res.Kind != "bench" || res.Regressed() {
 		t.Fatalf("bench self-diff: kind=%s regressed=%v", res.Kind, res.Regressed())
 	}
+	res, err = DiffFiles(loadPath, loadPath, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "load" || res.Regressed() {
+		t.Fatalf("load self-diff: kind=%s regressed=%v", res.Kind, res.Regressed())
+	}
 	if _, err := DiffFiles(repPath, benchPath, DiffOptions{}); err == nil {
 		t.Fatal("mixed-kind diff accepted")
+	}
+	if _, err := DiffFiles(benchPath, loadPath, DiffOptions{}); err == nil {
+		t.Fatal("bench-vs-load diff accepted")
 	}
 	if _, err := DiffFiles(filepath.Join(dir, "absent.json"), repPath, DiffOptions{}); err == nil {
 		t.Fatal("missing file accepted")

@@ -18,6 +18,44 @@ func TestQuantileEmpty(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	// Degenerate snapshots must answer sensibly: empty histograms report
+	// 0, a single sample reports that sample exactly (no interpolation
+	// across its bucket), for every q.
+	cases := []struct {
+		name string
+		s    HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"empty p0", HistogramSnapshot{}, 0, 0},
+		{"empty p50", HistogramSnapshot{}, 0.5, 0},
+		{"empty p100", HistogramSnapshot{}, 1, 0},
+		{"zero counts", HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}, 0.99, 0},
+		{"single sample p0",
+			HistogramSnapshot{Bounds: []float64{1, 10}, Counts: []uint64{0, 1, 0}, Sum: 7.5, Count: 1}, 0, 7.5},
+		{"single sample p50",
+			HistogramSnapshot{Bounds: []float64{1, 10}, Counts: []uint64{0, 1, 0}, Sum: 7.5, Count: 1}, 0.5, 7.5},
+		{"single sample p99",
+			HistogramSnapshot{Bounds: []float64{1, 10}, Counts: []uint64{0, 1, 0}, Sum: 7.5, Count: 1}, 0.99, 7.5},
+		{"single overflow sample",
+			HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 1}, Sum: 42, Count: 1}, 0.5, 42},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Quantile(tc.q); !almost(got, tc.want) {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+	// A single real observation round-trips through Observe.
+	h := NewRegistry().Histogram("one", []float64{1, 10})
+	h.Observe(3.25)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.snapshot().Quantile(q); !almost(got, 3.25) {
+			t.Errorf("one-observation Quantile(%v) = %v, want 3.25", q, got)
+		}
+	}
+}
+
 func TestQuantileSingleBucket(t *testing.T) {
 	// All 10 samples landed in (1, 2]: every quantile interpolates
 	// linearly across that bucket.

@@ -127,10 +127,15 @@ type HistogramSnapshot struct {
 // interpolates from 0 (all observed values are assumed non-negative, as
 // every metric in this simulator is); the overflow bucket has no upper
 // bound, so its answer is clamped to the last finite bound. An empty
-// snapshot returns 0; q is clamped to [0,1].
+// snapshot returns 0; a single-sample snapshot returns that sample
+// exactly (the bucket has nothing to interpolate over, and Sum of one
+// observation is the observation); q is clamped to [0,1].
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Counts) == 0 {
 		return 0
+	}
+	if s.Count == 1 {
+		return s.Sum
 	}
 	if q < 0 {
 		q = 0

@@ -70,6 +70,14 @@ func TestServerEndpoints(t *testing.T) {
 		if !strings.Contains(body, "<html") || !strings.Contains(body, "hetcore") {
 			t.Fatalf("dashboard HTML missing expected markers")
 		}
+		// The header strip surfaces the engine serving counters the
+		// report manifest records.
+		for _, marker := range []string{"engine.jobs_total", "engine.cache_hits",
+			"engine.disk_hits", "engine.remote_jobs"} {
+			if !strings.Contains(body, marker) {
+				t.Errorf("dashboard does not read counter %s", marker)
+			}
+		}
 	})
 
 	t.Run("metrics.json", func(t *testing.T) {

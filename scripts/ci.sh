@@ -108,6 +108,19 @@ cmp "$tmp/dist-run1.txt" "$tmp/dist-run3.txt" || {
     cat "$tmp/hetserved.log" >&2
     exit 1
 }
+
+echo "== load gate (hetload p99 vs baseline) =="
+# Drive a short closed-loop job stream at the live daemon and gate the
+# client-observed serving latency. With -rate-tol 400 the gate trips
+# only when a latency quantile exceeds 5x the committed baseline (or
+# any request errors against the zero-error baseline) — catching
+# serialization bugs and accidental hot-path sleeps without flaking on
+# host speed.
+go build -o "$tmp/hetload" ./cmd/hetload
+"$tmp/hetload" -addr "$addr" -duration 2s -concurrency 4 -cold 0.2 \
+    -o "$tmp/BENCH_load.json" >/dev/null
+"$tmp/hetcore" diff -rate-tol 400 scripts/baseline/BENCH_load.json "$tmp/BENCH_load.json"
+
 kill "$served_pid" 2>/dev/null
 served_pid=""
 
