@@ -6,12 +6,15 @@
 //	hetcore list
 //	hetcore run -exp fig7 [-instr N] [-seed S] [-workloads a,b] [-kernels X,Y] [-csv]
 //	hetcore all [-instr N] [-seed S] [-csv]
+//	hetcore soc [-budget-w W] [-budget-mm2 A] [-breakdown] [...]
 //	hetcore bench [-instr N] [-o BENCH_sim_rate.json]
 //	hetcore diff [-tol PCT] [-rate-tol PCT] old.json new.json
 //	hetcore version
 //
 // "run" executes one experiment; "all" executes the full evaluation in
-// paper order; "bench" measures the simulation rate of this host;
+// paper order; "soc" searches every CMOS-core/TFET-core/GPU-CU mix that
+// fits an area/power budget and prints the Pareto front (time vs
+// energy); "bench" measures the simulation rate of this host;
 // "diff" compares two -metrics-out reports, two bench records or two
 // hetload BENCH_load.json records and exits non-zero when a metric
 // regressed beyond its threshold;
@@ -44,6 +47,7 @@ import (
 	"hetcore/internal/dist"
 	"hetcore/internal/harness"
 	"hetcore/internal/obs"
+	"hetcore/internal/soc"
 )
 
 func main() {
@@ -59,6 +63,8 @@ func main() {
 		err = run(os.Args[2:])
 	case "all":
 		err = all(os.Args[2:])
+	case "soc":
+		err = socCmd(os.Args[2:])
 	case "bench":
 		err = bench(os.Args[2:])
 	case "diff":
@@ -85,6 +91,7 @@ Commands:
   list                 list all experiments
   run -exp <id> [...]  run one experiment (e.g. fig7, table1)
   all [...]            run every experiment in paper order
+  soc [...]            budgeted SoC design-space search (Pareto front)
   bench [...]          measure this host's simulation rate
   diff old new         compare two reports/bench/load records, exit 1 on regression
   version              print the cache/wire version stamp
@@ -108,6 +115,12 @@ Flags for run/all:
   -serve ADDR          serve the live telemetry dashboard (e.g. :8090)
   -cpuprofile F        write pprof CPU profile
   -memprofile F        write pprof heap profile
+
+Flags for soc (plus all run/all flags above):
+  -budget-w W          SoC power budget in watts (default 20)
+  -budget-mm2 A        SoC area budget in mm^2 (default 50)
+  -breakdown           also print the per-workload time/energy breakdown
+                       of every Pareto-front mix
 
 Flags for bench:
   -instr N             CPU instruction budget (default 2000000)
@@ -231,6 +244,69 @@ func all(args []string) error {
 		}
 		if *csv || *js {
 			fmt.Println()
+		}
+	}
+	return sess.Close()
+}
+
+// socCmd runs the budgeted SoC design-space search: every CMOS/TFET
+// core + GPU CU mix that fits the budget is evaluated over the paired
+// workloads (through the shared engine, so the component simulations
+// and compositions cache like any other experiment) and the Pareto
+// front on (time, energy) is printed.
+func socCmd(args []string) error {
+	fs := flag.NewFlagSet("soc", flag.ExitOnError)
+	budgetW := fs.Float64("budget-w", 0, "power budget in watts (0 = default 20)")
+	budgetMM2 := fs.Float64("budget-mm2", 0, "area budget in mm^2 (0 = default 50)")
+	breakdown := fs.Bool("breakdown", false, "also print the per-workload breakdown of Pareto mixes")
+	sim := harness.AddSimFlags(fs)
+	ob := harness.AddObsFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV")
+	js := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	budget := soc.DefaultBudget()
+	if *budgetW != 0 {
+		budget.PowerW = *budgetW
+	}
+	if *budgetMM2 != 0 {
+		budget.AreaMM2 = *budgetMM2
+	}
+	if err := budget.Validate(); err != nil {
+		return err
+	}
+	sess, err := ob.Start(os.Args)
+	if err != nil {
+		return err
+	}
+	sess.Experiments = []string{"soc"}
+	sess.Seed = sim.Seed
+	opts := sim.Options()
+	opts.Obs = sess.Obs
+	opts, err = opts.WithSharedEngine()
+	if err != nil {
+		return err
+	}
+	sess.Engine = opts.Engine
+	t, err := harness.SoCPareto(opts, budget)
+	if err != nil {
+		return err
+	}
+	if err := emit(t, *csv, *js); err != nil {
+		return err
+	}
+	if *breakdown {
+		sess.Experiments = append(sess.Experiments, "socbreak")
+		bt, err := harness.SoCBreakdown(opts, budget)
+		if err != nil {
+			return err
+		}
+		if !*csv && !*js {
+			fmt.Println()
+		}
+		if err := emit(bt, *csv, *js); err != nil {
+			return err
 		}
 	}
 	return sess.Close()

@@ -1,8 +1,11 @@
-// cpu_design_space sweeps every Table IV CPU configuration over a pair of
-// contrasting workloads — one floating-point-heavy (blackscholes), one
-// memory-bound and branchy (canneal) — and prints the full design-space
-// picture: time, energy, ED² and the microarchitectural rates that explain
-// them. This reproduces the reasoning behind the paper's Figure 13.
+// cpu_design_space walks the CPU design space at two levels. Level one
+// sweeps every Table IV CPU configuration over a pair of contrasting
+// workloads — one floating-point-heavy (blackscholes), one memory-bound
+// and branchy (canneal) — reproducing the reasoning behind the paper's
+// Figure 13. Level two goes beyond the paper's fixed configurations and
+// searches the budgeted SoC core-mix space (internal/soc): every
+// CMOS/TFET core + GPU CU combination that fits a 20 W / 50 mm² die,
+// reduced to a Pareto front on (time, energy).
 //
 // Run with: go run ./examples/cpu_design_space
 package main
@@ -12,6 +15,7 @@ import (
 	"log"
 
 	"hetcore/internal/hetsim"
+	"hetcore/internal/soc"
 	"hetcore/internal/trace"
 )
 
@@ -47,4 +51,42 @@ func main() {
 	fmt.Println("All values normalised to BaseCMOS. The hetero-device AdvHet keeps")
 	fmt.Println("CMOS-like performance at a fraction of the energy; under a fixed")
 	fmt.Println("power budget, AdvHet-2X powers twice the cores and wins outright.")
+	fmt.Println()
+
+	// Level two: instead of picking among fixed configurations, build the
+	// chip. Measure the composition components once (a 1-core CMOS run, a
+	// 1-core TFET run, a GPU kernel run), then evaluate every core mix
+	// that fits the budget — Evaluate is pure arithmetic, so the whole
+	// space costs three simulations.
+	budget := soc.DefaultBudget()
+	wl, err := soc.WorkloadByName("blackscholes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps, err := soc.MeasureComponents(wl, 7, 300_000, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, over := soc.Partition(soc.DefaultSpace(), budget)
+	var results []soc.Result
+	for _, cfg := range in {
+		r, err := soc.Evaluate(cfg, wl, 300_000, comps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	front := soc.ParetoFront(soc.Summarize(results))
+
+	fmt.Printf("=== SoC core-mix search: %s, %d mixes fit (%d over budget) ===\n",
+		budget.String(), len(in), len(over))
+	fmt.Printf("%-10s %8s %8s %10s %10s\n", "mix", "area", "peak", "time us", "energy uJ")
+	for _, s := range front {
+		fmt.Printf("%-10s %7.1f %7.1fW %10.2f %10.3f\n",
+			s.Name, s.AreaMM2, s.PeakW, s.TimeSec*1e6, s.EnergyJ*1e6)
+	}
+	fmt.Println("\nThe Pareto front runs from CMOS-heavy mixes (fastest) toward")
+	fmt.Println("TFET-heavy ones (most frugal): every step swaps a CMOS core for a")
+	fmt.Println("TFET core and trades time for joules. `hetcore soc` runs this")
+	fmt.Println("search over all 14 workloads through the cached run-plan engine.")
 }

@@ -1,0 +1,50 @@
+package device
+
+// Footprint is the static silicon cost of one replicable SoC component:
+// the die area it occupies and the peak power it can draw. The SoC layer
+// multiplies footprints out per configuration and checks the sums
+// against an energy.Budget before any simulation runs.
+type Footprint struct {
+	// AreaMM2 is the component's die area in mm².
+	AreaMM2 float64
+	// PeakW is the component's peak sustained power draw in watts.
+	PeakW float64
+}
+
+// Times returns the footprint of n copies of the component.
+func (f Footprint) Times(n int) Footprint {
+	return Footprint{AreaMM2: f.AreaMM2 * float64(n), PeakW: f.PeakW * float64(n)}
+}
+
+// Add returns the combined footprint of two component groups.
+func (f Footprint) Add(g Footprint) Footprint {
+	return Footprint{AreaMM2: f.AreaMM2 + g.AreaMM2, PeakW: f.PeakW + g.PeakW}
+}
+
+// Per-component footprints at 15 nm, first-order calibrations anchored
+// to the paper's iso-resource comparisons rather than a layout tool:
+//
+//   - A BaseCMOS-class OoO core with its private L1s/L2 and L3 slice is
+//     taken as 4 mm² with a 2 W peak — a mid-range 15 nm big core.
+//   - A TFET core occupies the same area (Section III-F: TFET and CMOS
+//     transistors are near the same size at 15 nm, which is why the
+//     paper's iso-area CMP swaps cores one-for-one) but peaks at a
+//     quarter of the power (the evaluation's conservative 4x dynamic
+//     factor, Section V-B).
+//   - One GPU CU (16 EUs with register file, RF cache and vector L1) is
+//     a quarter-ish of a core's area, and the AdvHet GPU's roughly
+//     half-of-CMOS power at equal throughput (Section VII-B) lands one
+//     CU at 0.45 W peak.
+//   - The shared uncore (ring, memory controllers, I/O) is a fixed
+//     charge against every configuration.
+var (
+	// CMOSCoreFootprint is one Si-CMOS (BaseCMOS-class) core.
+	CMOSCoreFootprint = Footprint{AreaMM2: 4.0, PeakW: 2.0}
+	// TFETCoreFootprint is one all-TFET (BaseTFET-class) core: CMOS-equal
+	// area, quarter peak power.
+	TFETCoreFootprint = Footprint{AreaMM2: 4.0, PeakW: 0.5}
+	// GPUCUFootprint is one AdvHet GPU compute unit.
+	GPUCUFootprint = Footprint{AreaMM2: 1.75, PeakW: 0.45}
+	// UncoreFootprint is the fixed shared-uncore charge per SoC.
+	UncoreFootprint = Footprint{AreaMM2: 2.0, PeakW: 0.5}
+)

@@ -1,0 +1,34 @@
+package device
+
+import "testing"
+
+func TestFootprintArithmetic(t *testing.T) {
+	f := Footprint{AreaMM2: 4, PeakW: 2}
+	if got := f.Times(3); got != (Footprint{AreaMM2: 12, PeakW: 6}) {
+		t.Errorf("Times(3) = %+v", got)
+	}
+	if got := f.Times(0); got != (Footprint{}) {
+		t.Errorf("Times(0) = %+v, want zero", got)
+	}
+	if got := f.Add(Footprint{AreaMM2: 1, PeakW: 0.5}); got != (Footprint{AreaMM2: 5, PeakW: 2.5}) {
+		t.Errorf("Add = %+v", got)
+	}
+}
+
+func TestFootprintCalibrations(t *testing.T) {
+	// The paper's iso-area CMP swaps CMOS and TFET cores one-for-one
+	// (Section III-F), so their areas must match; TFET peaks lower.
+	if CMOSCoreFootprint.AreaMM2 != TFETCoreFootprint.AreaMM2 {
+		t.Errorf("TFET core area %v != CMOS core area %v",
+			TFETCoreFootprint.AreaMM2, CMOSCoreFootprint.AreaMM2)
+	}
+	if TFETCoreFootprint.PeakW >= CMOSCoreFootprint.PeakW {
+		t.Errorf("TFET core peak %v W should be below CMOS %v W",
+			TFETCoreFootprint.PeakW, CMOSCoreFootprint.PeakW)
+	}
+	for _, f := range []Footprint{CMOSCoreFootprint, TFETCoreFootprint, GPUCUFootprint, UncoreFootprint} {
+		if f.AreaMM2 <= 0 || f.PeakW <= 0 {
+			t.Errorf("footprint %+v must be positive", f)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"hetcore/internal/hetsim"
+	"hetcore/internal/soc"
 	"hetcore/internal/trace"
 )
 
@@ -41,7 +42,21 @@ func init() {
 	RegisterResult("hetsim.CPUResult", hetsim.CPUResult{})
 	RegisterResult("hetsim.GPUResult", hetsim.GPUResult{})
 	RegisterResult("hetsim.HeteroCMPResult", hetsim.HeteroCMPResult{})
+	RegisterResult("soc.Result", soc.Result{})
 	RegisterResult("trace.Summary", trace.Summary{})
+}
+
+// RegisteredResults returns every registered (name, prototype) pair,
+// sorted by name. Tests iterate it to prove each type survives an
+// encode/decode round trip.
+func RegisteredResults() map[string]any {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	out := make(map[string]any, len(codecTypes))
+	for name, t := range codecTypes {
+		out[name] = reflect.New(t).Elem().Interface()
+	}
+	return out
 }
 
 // EncodeResult serializes a registered result value. Unregistered types

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// fillValue populates v (an addressable reflect.Value) with
+// deterministic non-zero data derived from seed, recursing through
+// structs, maps, slices and pointers. Every exported field ends up
+// non-zero, so a field the codec silently drops (an unexported field, a
+// json:"-" tag, an unsupported type) fails the round trip instead of
+// hiding behind a zero value.
+func fillValue(v reflect.Value, seed *int) {
+	*seed++
+	s := *seed
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(s))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(s))
+	case reflect.Float32, reflect.Float64:
+		// An awkward non-round float: shortest-form JSON must preserve it.
+		v.SetFloat(float64(s) + 1.0/3.0)
+	case reflect.String:
+		v.SetString("s" + string(rune('a'+s%26)))
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() { // exported fields only
+				fillValue(v.Field(i), seed)
+			}
+		}
+	case reflect.Slice:
+		el := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < el.Len(); i++ {
+			fillValue(el.Index(i), seed)
+		}
+		v.Set(el)
+	case reflect.Map:
+		m := reflect.MakeMap(v.Type())
+		k := reflect.New(v.Type().Key()).Elem()
+		e := reflect.New(v.Type().Elem()).Elem()
+		fillValue(k, seed)
+		fillValue(e, seed)
+		m.SetMapIndex(k, e)
+		v.Set(m)
+	case reflect.Ptr:
+		p := reflect.New(v.Type().Elem())
+		fillValue(p.Elem(), seed)
+		v.Set(p)
+	}
+}
+
+// TestRegisteredResultsRoundTrip is the codec regression gate: every
+// result type in the registry — including any a future PR adds — must
+// survive EncodeResult/DecodeResult with DeepEqual fidelity when fully
+// populated. A type whose fields don't serialize exactly would silently
+// corrupt the disk cache and the wire protocol.
+func TestRegisteredResultsRoundTrip(t *testing.T) {
+	protos := RegisteredResults()
+	if len(protos) < 5 {
+		t.Fatalf("registry has %d result types, expected at least 5 (cpu, gpu, cmp, soc, trace)", len(protos))
+	}
+	names := make([]string, 0, len(protos))
+	for name := range protos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			pv := reflect.New(reflect.TypeOf(protos[name])).Elem()
+			seed := 0
+			fillValue(pv, &seed)
+			orig := pv.Interface()
+
+			gotName, data, err := EncodeResult(orig)
+			if err != nil {
+				t.Fatalf("EncodeResult: %v", err)
+			}
+			if gotName != name {
+				t.Fatalf("EncodeResult named it %q, registered as %q", gotName, name)
+			}
+			back, err := DecodeResult(name, data)
+			if err != nil {
+				t.Fatalf("DecodeResult: %v", err)
+			}
+			if !reflect.DeepEqual(orig, back) {
+				t.Errorf("round trip lost data:\n sent %#v\n got  %#v", orig, back)
+			}
+		})
+	}
+}
+
+func TestCodecUnregisteredAndUnknown(t *testing.T) {
+	type notRegistered struct{ X int }
+	if _, _, err := EncodeResult(notRegistered{1}); err == nil {
+		t.Error("EncodeResult should reject unregistered types")
+	}
+	if _, err := DecodeResult("no.SuchType", []byte("{}")); err == nil {
+		t.Error("DecodeResult should reject unknown type names")
+	}
+}

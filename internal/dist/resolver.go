@@ -4,78 +4,52 @@ import (
 	"fmt"
 
 	"hetcore/internal/engine"
-	"hetcore/internal/gpu"
 	"hetcore/internal/hetsim"
 	"hetcore/internal/obs"
 	"hetcore/internal/trace"
 )
 
+// The soc package registers its runner with hetsim from package init;
+// the codec's import of it (codec.go) makes "soc/..." keys resolvable
+// on daemons too.
+
 // Resolve maps a stock engine key back to the simulation it denotes, so
-// a daemon that received only the key can execute the job. It covers
-// exactly the keys whose fields fully determine the computation:
+// a daemon that received only the key can execute the job. Device keys
+// go through the hetsim runner registry — any registered device kind
+// resolves the same way:
 //
 //	cpu/<config>/<workload>/s<seed>/i<instr>   hetsim.RunCPU
 //	gpu/<config>/<kernel>/s<seed>/i0           hetsim.RunGPU
 //	cmp/HeteroCMP[-nomig]/<workload>/...       hetsim.RunHeteroCMP
+//	soc/c<N>t<M>g<K>/<workload>/...            soc composition
 //	trace/stats/<workload>/.../core=<n>        trace.Summarize
 //
-// Keys carrying other variants (sweeps, DVFS operating points) mutate
-// their config out-of-band and return ok=false: they must execute in the
-// process that built them. o receives the executing side's telemetry.
+// Keys carrying variants (sweeps, DVFS operating points) mutate their
+// config out-of-band and return ok=false: they must execute in the
+// process that built them. Devices whose results ignore the instruction
+// budget (InstrInKey == false) only resolve with Instr pinned to 0. o
+// receives the executing side's telemetry.
 func Resolve(k engine.Key, o *obs.Observer) (func() (any, error), bool) {
-	switch k.Device {
-	case "cpu":
+	if r, ok := hetsim.RunnerFor(k.Device); ok {
 		if k.Variant != "" {
 			return nil, false
 		}
-		cfg, err := hetsim.CPUConfigByName(k.Config)
-		if err != nil {
+		if !r.InstrInKey && k.Instr != 0 {
 			return nil, false
 		}
-		prof, err := trace.CPUWorkload(k.Workload)
-		if err != nil {
+		if !r.HasConfig(k.Config) || !r.HasWorkload(k.Workload) {
 			return nil, false
 		}
 		return func() (any, error) {
-			return hetsim.RunCPU(cfg, prof, hetsim.RunOpts{
+			res, err := r.Run(k.Config, k.Workload, hetsim.RunOpts{
 				TotalInstructions: k.Instr, Seed: k.Seed, Obs: o})
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
 		}, true
-	case "gpu":
-		if k.Variant != "" || k.Instr != 0 {
-			return nil, false
-		}
-		cfg, err := hetsim.GPUConfigByName(k.Config)
-		if err != nil {
-			return nil, false
-		}
-		kern, err := gpu.KernelByName(k.Workload)
-		if err != nil {
-			return nil, false
-		}
-		return func() (any, error) {
-			return hetsim.RunGPUObserved(cfg, kern, k.Seed, o)
-		}, true
-	case "cmp":
-		if k.Variant != "" {
-			return nil, false
-		}
-		hc := hetsim.DefaultHeteroCMP()
-		switch k.Config {
-		case "HeteroCMP":
-		case "HeteroCMP-nomig":
-			hc.Migrate = false
-		default:
-			return nil, false
-		}
-		prof, err := trace.CPUWorkload(k.Workload)
-		if err != nil {
-			return nil, false
-		}
-		return func() (any, error) {
-			return hetsim.RunHeteroCMP(hc, prof, hetsim.RunOpts{
-				TotalInstructions: k.Instr, Seed: k.Seed, Obs: o})
-		}, true
-	case "trace":
+	}
+	if k.Device == "trace" {
 		if k.Config != "stats" {
 			return nil, false
 		}

@@ -16,7 +16,9 @@ import (
 // through the stamp mismatch instead of serving stale results.
 // v2: fleet observability — request envelopes carry trace context and
 // the response carries a server-side timing breakdown.
-const CacheVersion = 2
+// v3: device-runner registry + the SoC layer — resolution goes through
+// hetsim runners and "soc.Result" joins the codec.
+const CacheVersion = 3
 
 var deviceHash = sync.OnceValue(func() string {
 	// Hash the fully-rendered CPU and GPU configuration tables: any

@@ -268,6 +268,8 @@ func (s *ObsSession) Report() obs.Report {
 	var snap obs.Snapshot
 	if reg := s.Obs.Reg(); reg != nil {
 		snap = reg.Snapshot()
+		m.SoCConfigsEvaluated = snap.Counters["soc.configs_evaluated"]
+		m.SoCConfigsOverBudget = snap.Counters["soc.configs_over_budget"]
 	}
 	return obs.Report{Manifest: m, Metrics: snap, Runs: runs}
 }

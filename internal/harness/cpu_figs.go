@@ -101,12 +101,13 @@ func (o Options) cpuKey(config, workload string) engine.Key {
 		Seed: o.Seed, Instr: o.Instructions}
 }
 
-// cpuJob declares one stock CPU run as an engine job.
+// cpuJob declares one stock CPU run as an engine job, routed through
+// the hetsim runner registry like every other device kind.
 func (o Options) cpuJob(cfg hetsim.CPUConfig, prof trace.Profile) engine.Job {
 	return engine.Job{
 		Key: o.cpuKey(cfg.Name, prof.Name),
 		Run: func() (any, error) {
-			res, err := hetsim.RunCPU(cfg, prof, o.runOpts())
+			res, err := hetsim.RunDevice("cpu", cfg.Name, prof.Name, o.runOpts())
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s/%s: %w", cfg.Name, prof.Name, err)
 			}

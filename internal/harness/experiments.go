@@ -38,6 +38,8 @@ func Experiments() []Experiment {
 		{ID: "fig13", Title: "CPU design sensitivity", PaperRef: "Figure 13", Run: Fig13},
 		{ID: "fig14", Title: "DVFS and process variation", PaperRef: "Figure 14", Run: Fig14},
 		{ID: "migration", Title: "Iso-area CMOS+TFET migration CMP vs AdvHet", PaperRef: "Section VIII", Run: Migration},
+		{ID: "soc", Title: "Budgeted SoC design-space search (Pareto front)", PaperRef: "ROADMAP", Run: SoC},
+		{ID: "socbreak", Title: "SoC per-config time/energy breakdown", PaperRef: "ROADMAP", Run: SoCBreak},
 		{ID: "ablations", Title: "Per-mechanism design ablations", PaperRef: "DESIGN.md", Run: Ablations},
 		{ID: "cycles", Title: "Top-down CPU cycle attribution", PaperRef: "DESIGN.md", Run: CPUCycles},
 		{ID: "gpucycles", Title: "Top-down GPU cycle attribution", PaperRef: "DESIGN.md", Run: GPUCycles},

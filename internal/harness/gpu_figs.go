@@ -31,12 +31,13 @@ func (o Options) gpuKey(config, kernel string) engine.Key {
 	return engine.Key{Device: "gpu", Config: config, Workload: kernel, Seed: o.Seed}
 }
 
-// gpuJob declares one stock GPU run as an engine job.
+// gpuJob declares one stock GPU run as an engine job, routed through
+// the hetsim runner registry like every other device kind.
 func (o Options) gpuJob(cfg hetsim.GPUConfig, k gpu.Kernel) engine.Job {
 	return engine.Job{
 		Key: o.gpuKey(cfg.Name, k.Name),
 		Run: func() (any, error) {
-			res, err := hetsim.RunGPUObserved(cfg, k, o.Seed, o.Obs)
+			res, err := hetsim.RunDevice("gpu", cfg.Name, k.Name, o.runOpts())
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s/%s: %w", cfg.Name, k.Name, err)
 			}

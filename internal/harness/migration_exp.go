@@ -8,14 +8,15 @@ import (
 	"hetcore/internal/trace"
 )
 
-// cmpJob declares one heterogeneous-CMP run as an engine job. config
-// names the machine variant in the cache key ("cmp" device namespace).
-func (o Options) cmpJob(config string, hc hetsim.HeteroCMPConfig, prof trace.Profile) engine.Job {
+// cmpJob declares one heterogeneous-CMP run as an engine job, routed
+// through the hetsim runner registry ("cmp" device namespace; config
+// names the machine variant).
+func (o Options) cmpJob(config string, prof trace.Profile) engine.Job {
 	return engine.Job{
 		Key: engine.Key{Device: "cmp", Config: config, Workload: prof.Name,
 			Seed: o.Seed, Instr: o.Instructions},
 		Run: func() (any, error) {
-			res, err := hetsim.RunHeteroCMP(hc, prof, o.runOpts())
+			res, err := hetsim.RunDevice("cmp", config, prof.Name, o.runOpts())
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s/%s: %w", config, prof.Name, err)
 			}
@@ -42,16 +43,12 @@ func Migration(opts Options) (Table, error) {
 		return Table{}, err
 	}
 
-	naive := hetsim.DefaultHeteroCMP()
-	naive.Migrate = false
-	balanced := hetsim.DefaultHeteroCMP()
-
 	jobs := make([]engine.Job, 0, 3*len(profiles))
 	for _, p := range profiles {
 		jobs = append(jobs,
 			opts.cpuJob(adv, p),
-			opts.cmpJob("HeteroCMP", balanced, p),
-			opts.cmpJob("HeteroCMP-nomig", naive, p),
+			opts.cmpJob("HeteroCMP", p),
+			opts.cmpJob("HeteroCMP-nomig", p),
 		)
 	}
 	outs, err := opts.engine().RunAll(jobs)

@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hetcore/internal/energy"
+	"hetcore/internal/engine"
+	"hetcore/internal/gpu"
+	"hetcore/internal/hetsim"
+	"hetcore/internal/soc"
+	"hetcore/internal/trace"
+)
+
+// The SoC design-space search as a run plan. Evaluating one mix needs
+// three measured components per workload — a 1-core BaseCMOS run, a
+// 1-core BaseTFET run and an AdvHet GPU kernel run — and then only
+// arithmetic. The component simulations run through the engine first
+// (memoized, disk-cached; the GPU keys are the same stock keys the
+// fig10-12 suite uses, so those results are shared), and each (mix,
+// workload) composition is its own engine job whose closure reuses the
+// pre-measured components. Composition jobs are pure functions of their
+// keys — a remote daemon resolving soc/<mix>/<workload>/s<seed>/i<instr>
+// measures the same components itself (soc.MeasureComponents) and gets
+// bit-equal results — so the memoizing cache, the disk cache and the
+// dist layer absorb the search combinatorics.
+
+// socWorkloads resolves the option's workload restriction against the
+// SoC pairing table.
+func socWorkloads(opts Options) ([]soc.Workload, error) {
+	if len(opts.Workloads) == 0 {
+		return soc.Workloads(), nil
+	}
+	out := make([]soc.Workload, 0, len(opts.Workloads))
+	for _, name := range opts.Workloads {
+		w, err := soc.WorkloadByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// socComponentKey is the engine key of a 1-core component run. The
+// Variant marks the core-count mutation, keeping these entries disjoint
+// from the stock 4-core suite in every cache.
+func (o Options) socComponentKey(config, workload string) engine.Key {
+	k := o.cpuKey(config, workload)
+	k.Variant = "cores=1"
+	return k
+}
+
+// socComponents measures the composition components for each workload
+// through the engine and returns them keyed by workload name.
+func socComponents(opts Options, wls []soc.Workload, needGPU bool) (map[string]soc.Components, error) {
+	gcfg, err := hetsim.GPUConfigByName(soc.GPUConfig)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []engine.Job
+	for _, wl := range wls {
+		prof, err := trace.CPUWorkload(wl.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cn := range []string{soc.CMOSCoreConfig, soc.TFETCoreConfig} {
+			cfg, err := hetsim.CPUConfigByName(cn)
+			if err != nil {
+				return nil, err
+			}
+			cfg, prof := hetsim.SingleCore(cfg), prof
+			jobs = append(jobs, engine.Job{
+				Key: opts.socComponentKey(cfg.Name, prof.Name),
+				Run: func() (any, error) {
+					res, err := hetsim.RunCPU(cfg, prof, opts.runOpts())
+					if err != nil {
+						return nil, fmt.Errorf("harness: soc component %s/%s: %w", cfg.Name, prof.Name, err)
+					}
+					return res, nil
+				},
+			})
+		}
+		if needGPU {
+			kern, err := gpu.KernelByName(wl.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, opts.gpuJob(gcfg, kern))
+		}
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	comps := make(map[string]soc.Components, len(wls))
+	i := 0
+	for _, wl := range wls {
+		var c soc.Components
+		cm, err := soc.CoreComponentOf(outs[i].(hetsim.CPUResult))
+		if err != nil {
+			return nil, err
+		}
+		tf, err := soc.CoreComponentOf(outs[i+1].(hetsim.CPUResult))
+		if err != nil {
+			return nil, err
+		}
+		c.CMOS, c.TFET = cm, tf
+		i += 2
+		if needGPU {
+			g, err := soc.GPUComponentOf(outs[i].(hetsim.GPUResult))
+			if err != nil {
+				return nil, err
+			}
+			c.GPU = g
+			i++
+		}
+		comps[wl.Name] = c
+	}
+	return comps, nil
+}
+
+// SearchSoC evaluates every in-budget mix of the space over the option's
+// workloads, one engine job per (mix, workload) point, and returns the
+// evaluated points in (space, workload) declaration order. Over-budget
+// mixes are rejected by the footprint sum alone — they never simulate —
+// and both populations feed the soc.configs_evaluated /
+// soc.configs_over_budget counters.
+func SearchSoC(opts Options, budget energy.Budget, space []soc.Config) ([]soc.Result, []soc.Config, error) {
+	if err := budget.Validate(); err != nil {
+		return nil, nil, err
+	}
+	wls, err := socWorkloads(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	in, over := soc.Partition(space, budget)
+	if reg := opts.Obs.Reg(); reg != nil {
+		reg.Counter("soc.configs_evaluated").Add(uint64(len(in)))
+		reg.Counter("soc.configs_over_budget").Add(uint64(len(over)))
+	}
+	if len(in) == 0 {
+		return nil, over, fmt.Errorf("harness: no SoC mix fits %s", budget.String())
+	}
+	needGPU := false
+	for _, cfg := range in {
+		if cfg.GPUCUs > 0 {
+			needGPU = true
+			break
+		}
+	}
+	comps, err := socComponents(opts, wls, needGPU)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	jobs := make([]engine.Job, 0, len(in)*len(wls))
+	for _, cfg := range in {
+		for _, wl := range wls {
+			cfg, wl, c := cfg, wl, comps[wl.Name]
+			jobs = append(jobs, engine.Job{
+				Key: engine.Key{Device: "soc", Config: cfg.Name(), Workload: wl.Name,
+					Seed: opts.Seed, Instr: opts.Instructions},
+				Run: func() (any, error) {
+					wallStart := time.Now()
+					res, err := soc.Evaluate(cfg, wl, opts.Instructions, c)
+					if err != nil {
+						return nil, fmt.Errorf("harness: soc %s/%s: %w", cfg.Name(), wl.Name, err)
+					}
+					opts.Obs.FinishRecord(res.Record(opts.Seed), wallStart, res.Instructions)
+					return res, nil
+				},
+			})
+		}
+	}
+	outs, err := opts.engine().RunAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]soc.Result, len(outs))
+	for i, out := range outs {
+		results[i] = out.(soc.Result)
+	}
+	return results, over, nil
+}
+
+// SoCPareto runs the design-space search under the budget and renders
+// the Pareto front on (total time, total energy) over the workloads.
+func SoCPareto(opts Options, budget energy.Budget) (Table, error) {
+	results, over, err := SearchSoC(opts, budget, soc.DefaultSpace())
+	if err != nil {
+		return Table{}, err
+	}
+	front := soc.ParetoFront(soc.Summarize(results))
+	rows := make([]Row, len(front))
+	for i, s := range front {
+		rows[i] = Row{Label: s.Name, Values: []float64{
+			float64(s.Config.CMOSCores), float64(s.Config.TFETCores), float64(s.Config.GPUCUs),
+			s.AreaMM2, s.PeakW,
+			s.TimeSec * 1e6, s.EnergyJ * 1e6, s.ED2() * 1e18,
+		}}
+	}
+	nWork := workloadCount(results)
+	nMixes := 0
+	if nWork > 0 {
+		nMixes = len(results) / nWork
+	}
+	return Table{
+		ID:    "soc",
+		Title: fmt.Sprintf("SoC design-space search: Pareto front under %s", budget.String()),
+		Columns: []string{"cmos", "tfet", "cus", "area_mm2", "peak_w",
+			"time_us", "energy_uj", "ed2_ajs2"},
+		Rows: rows,
+		Notes: fmt.Sprintf(
+			"Time/energy summed over %d workload(s); %d mix(es) evaluated, %d rejected over budget.",
+			nWork, nMixes, len(over)),
+	}, nil
+}
+
+// workloadCount counts distinct workloads in the evaluated points.
+func workloadCount(results []soc.Result) int {
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.Workload] = true
+	}
+	return len(seen)
+}
+
+// SoCBreakdown renders the per-workload composition of each
+// Pareto-front mix: where the time goes (serial vs parallel) and where
+// the energy goes (core dynamic, GPU dynamic, leakage).
+func SoCBreakdown(opts Options, budget energy.Budget) (Table, error) {
+	results, _, err := SearchSoC(opts, budget, soc.DefaultSpace())
+	if err != nil {
+		return Table{}, err
+	}
+	front := soc.ParetoFront(soc.Summarize(results))
+	onFront := make(map[string]bool, len(front))
+	for _, s := range front {
+		onFront[s.Name] = true
+	}
+	var rows []Row
+	for _, r := range results {
+		if !onFront[r.Config] {
+			continue
+		}
+		rows = append(rows, Row{Label: r.Config + "/" + r.Workload, Values: []float64{
+			r.SerialSec * 1e6, r.ParallelSec * 1e6, r.TimeSec * 1e6,
+			r.CoreDynJ * 1e6, r.GPUDynJ * 1e6, r.LeakJ * 1e6,
+			r.OffloadFrac,
+		}})
+	}
+	return Table{
+		ID:    "socbreak",
+		Title: fmt.Sprintf("SoC per-config breakdown (Pareto front under %s)", budget.String()),
+		Columns: []string{"serial_us", "parallel_us", "time_us",
+			"core_dyn_uj", "gpu_dyn_uj", "leak_uj", "offload"},
+		Rows:  rows,
+		Notes: "One row per (Pareto mix, workload); times and energies per run.",
+	}, nil
+}
+
+// SoC and SoCBreak are the registry entries (default budget).
+func SoC(opts Options) (Table, error) {
+	return SoCPareto(opts, soc.DefaultBudget())
+}
+
+func SoCBreak(opts Options) (Table, error) {
+	return SoCBreakdown(opts, soc.DefaultBudget())
+}

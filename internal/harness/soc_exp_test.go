@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hetcore/internal/energy"
+	"hetcore/internal/obs"
+	"hetcore/internal/soc"
+)
+
+// socTestOptions keeps the SoC search cheap in tests: one workload, a
+// small instruction budget.
+func socTestOptions(t *testing.T, jobs int, o *obs.Observer) Options {
+	t.Helper()
+	opts, err := Options{
+		Instructions: 40_000, Seed: 1,
+		Workloads: []string{"fft"}, Jobs: jobs, Obs: o,
+	}.WithSharedEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opts
+}
+
+// renderSoC renders the Pareto table plus the breakdown with the given
+// worker count.
+func renderSoC(t *testing.T, jobs int) string {
+	t.Helper()
+	opts := socTestOptions(t, jobs, nil)
+	var buf strings.Builder
+	for _, run := range []func(Options) (Table, error){SoC, SoCBreak} {
+		tb, err := run(opts)
+		if err != nil {
+			t.Fatalf("soc (jobs=%d): %v", jobs, err)
+		}
+		if err := tb.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestSoCDeterministicAcrossJobs extends the determinism contract to the
+// SoC search: -jobs=1 and -jobs=8 must render byte-identical Pareto and
+// breakdown tables.
+func TestSoCDeterministicAcrossJobs(t *testing.T) {
+	serial := renderSoC(t, 1)
+	parallel := renderSoC(t, 8)
+	if serial != parallel {
+		t.Fatalf("soc tables differ between -jobs=1 and -jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "c0t1g0") {
+		t.Fatalf("Pareto table misses the minimal mix:\n%s", serial)
+	}
+}
+
+// TestSearchSoCCountsAndCounters pins the search scale — at least 200
+// mixes fit the default budget (the ISSUE's acceptance floor) — and the
+// budget accounting counters.
+func TestSearchSoCCountsAndCounters(t *testing.T) {
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	opts := socTestOptions(t, 4, o)
+	results, over, err := SearchSoC(opts, soc.DefaultBudget(), soc.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nMixes := len(results) // one workload, so one result per mix
+	if nMixes < 200 {
+		t.Errorf("evaluated %d mixes, want >= 200", nMixes)
+	}
+	if nMixes+len(over) != len(soc.DefaultSpace()) {
+		t.Errorf("evaluated %d + rejected %d != space %d", nMixes, len(over), len(soc.DefaultSpace()))
+	}
+	snap := o.Reg().Snapshot()
+	if got := snap.Counters["soc.configs_evaluated"]; got != uint64(nMixes) {
+		t.Errorf("soc.configs_evaluated = %d, want %d", got, nMixes)
+	}
+	if got := snap.Counters["soc.configs_over_budget"]; got != uint64(len(over)) {
+		t.Errorf("soc.configs_over_budget = %d, want %d", got, len(over))
+	}
+	// Every evaluated mix must actually fit; every result must be sane.
+	for _, r := range results {
+		if !soc.DefaultBudget().Fits(r.AreaMM2, r.PeakW) {
+			t.Errorf("%s evaluated but over budget (%.1f mm², %.1f W)", r.Config, r.AreaMM2, r.PeakW)
+		}
+		if r.TimeSec <= 0 || r.TotalEnergyJ() <= 0 {
+			t.Errorf("%s/%s: non-positive time/energy: %+v", r.Config, r.Workload, r)
+		}
+	}
+}
+
+// TestSearchSoCImpossibleBudget asserts the empty-fit error path: a
+// budget no mix fits is an error, not an empty table.
+func TestSearchSoCImpossibleBudget(t *testing.T) {
+	opts := socTestOptions(t, 1, nil)
+	tiny := energy.Budget{AreaMM2: 1, PowerW: 1}
+	if _, _, err := SearchSoC(opts, tiny, soc.DefaultSpace()); err == nil {
+		t.Error("search under an impossible budget should fail")
+	}
+	if err := (energy.Budget{AreaMM2: -5}).Validate(); err == nil {
+		t.Error("negative budget should fail validation")
+	}
+}
+
+// TestSoCParetoShape checks the rendered Pareto table: non-empty, sorted
+// by time ascending with energy strictly descending (the definition of a
+// 2-D Pareto front), and the note reports the search accounting.
+func TestSoCParetoShape(t *testing.T) {
+	opts := socTestOptions(t, 4, nil)
+	tb, err := SoC(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	if len(tb.Columns) != 8 {
+		t.Fatalf("Pareto table has %d columns, want 8: %v", len(tb.Columns), tb.Columns)
+	}
+	const timeCol, energyCol = 5, 6
+	for i, row := range tb.Rows {
+		if len(row.Values) != len(tb.Columns) {
+			t.Fatalf("row %s has %d values, want %d", row.Label, len(row.Values), len(tb.Columns))
+		}
+		if i == 0 {
+			continue
+		}
+		prev := tb.Rows[i-1]
+		if row.Values[timeCol] <= prev.Values[timeCol] {
+			t.Errorf("front not sorted by time: %s (%.3f) after %s (%.3f)",
+				row.Label, row.Values[timeCol], prev.Label, prev.Values[timeCol])
+		}
+		if row.Values[energyCol] >= prev.Values[energyCol] {
+			t.Errorf("dominated mix on front: %s uses no less energy than faster %s",
+				row.Label, prev.Label)
+		}
+	}
+	if !strings.Contains(tb.Notes, "rejected over budget") {
+		t.Errorf("notes miss the budget accounting: %q", tb.Notes)
+	}
+}
+
+// TestSoCCacheReuse asserts the search's engine economics: a second
+// search on the same shared engine simulates nothing (every component
+// and composition job memoized), and the component GPU keys are the
+// stock keys the fig10-12 suite shares.
+func TestSoCCacheReuse(t *testing.T) {
+	opts := socTestOptions(t, 4, nil)
+	if _, err := SoC(opts); err != nil {
+		t.Fatal(err)
+	}
+	ran := opts.Engine.JobsRun()
+	if ran == 0 {
+		t.Fatal("first search simulated nothing")
+	}
+	if _, err := SoC(opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := opts.Engine.JobsRun(); got != ran {
+		t.Errorf("second search simulated %d extra jobs, want 0", got-ran)
+	}
+}

@@ -240,6 +240,15 @@ func CPUConfigs() []CPUConfig {
 	return out
 }
 
+// SingleCore reduces a configuration to one powered core (hierarchy
+// included). The SoC layer measures per-core component rates and
+// energies from 1-core runs and composes many-core mixes from them.
+func SingleCore(cfg CPUConfig) CPUConfig {
+	cfg.Cores = 1
+	cfg.Hier.Cores = 1
+	return cfg
+}
+
 // CPUConfigByName returns the named configuration.
 func CPUConfigByName(name string) (CPUConfig, error) {
 	cfgs := CPUConfigs()

@@ -84,6 +84,15 @@ func (r CPUResult) ED() float64 { return energy.ED(r.Energy.Total(), r.TimeSec) 
 // ED2 returns the energy-delay² product (J·s²).
 func (r CPUResult) ED2() float64 { return energy.ED2(r.Energy.Total(), r.TimeSec) }
 
+// CPUResult implements the device-independent Result surface.
+var _ Result = CPUResult{}
+
+func (r CPUResult) DeviceKind() string    { return "cpu" }
+func (r CPUResult) ConfigName() string    { return r.Config }
+func (r CPUResult) WorkloadName() string  { return r.Workload }
+func (r CPUResult) Seconds() float64      { return r.TimeSec }
+func (r CPUResult) TotalEnergyJ() float64 { return r.Energy.Total() }
+
 // memPort binds one core ID to the shared hierarchy.
 type memPort struct {
 	h    *cache.Hierarchy
@@ -299,8 +308,7 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 				obs.SimTS(maxCycles, cfg.FreqGHz()),
 				map[string]float64{"total": bd.Total() / timeSec})
 		}
-		wall := time.Since(wallStart).Seconds()
-		rec := obs.RunRecord{
+		o.FinishRecord(obs.RunRecord{
 			Kind: "cpu", Config: cfg.Name, Workload: prof.Name,
 			Seed:         opts.Seed,
 			Instructions: insts, Cycles: maxCycles, CoreCycles: coreCycles,
@@ -312,12 +320,7 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 				"fast_hit_rate":   res.FastHitRate,
 				"mispredict_rate": res.MispredictRate,
 			},
-			WallSeconds: wall,
-		}
-		if wall > 0 {
-			rec.SimRateKIPS = float64(insts+uint64(n)*opts.WarmupInstructions) / wall / 1e3
-		}
-		o.AddRecord(rec)
+		}, wallStart, insts+uint64(n)*opts.WarmupInstructions)
 	}
 	return res, nil
 }

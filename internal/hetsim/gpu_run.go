@@ -33,6 +33,15 @@ func (r GPUResult) ED() float64 { return energy.ED(r.Energy.Total(), r.TimeSec) 
 // ED2 returns the energy-delay² product (J·s²).
 func (r GPUResult) ED2() float64 { return energy.ED2(r.Energy.Total(), r.TimeSec) }
 
+// GPUResult implements the device-independent Result surface.
+var _ Result = GPUResult{}
+
+func (r GPUResult) DeviceKind() string    { return "gpu" }
+func (r GPUResult) ConfigName() string    { return r.Config }
+func (r GPUResult) WorkloadName() string  { return r.Kernel }
+func (r GPUResult) Seconds() float64      { return r.TimeSec }
+func (r GPUResult) TotalEnergyJ() float64 { return r.Energy.Total() }
+
 // RunGPU executes a kernel on a GPU configuration.
 func RunGPU(cfg GPUConfig, kern gpu.Kernel, seed uint64) (GPUResult, error) {
 	return RunGPUObserved(cfg, kern, seed, nil)
@@ -89,8 +98,7 @@ func RunGPUObserved(cfg GPUConfig, kern gpu.Kernel, seed uint64, o *obs.Observer
 					map[string]float64{"total": bd.Total() / timeSec})
 			}
 		}
-		wall := time.Since(wallStart).Seconds()
-		rec := obs.RunRecord{
+		o.FinishRecord(obs.RunRecord{
 			Kind: "gpu", Config: cfg.Name, Workload: kern.Name,
 			Seed:         seed,
 			Instructions: s.WaveInsts, Cycles: s.Cycles, CoreCycles: s.Attr.Total(),
@@ -100,12 +108,7 @@ func RunGPUObserved(cfg GPUConfig, kern gpu.Kernel, seed uint64, o *obs.Observer
 			Extra: map[string]float64{
 				"rf_cache_hit_rate": s.RFCacheHitRate(),
 			},
-			WallSeconds: wall,
-		}
-		if wall > 0 {
-			rec.SimRateKIPS = float64(s.WaveInsts) / wall / 1e3
-		}
-		o.AddRecord(rec)
+		}, wallStart, s.WaveInsts)
 	}
 	return res, nil
 }

@@ -52,10 +52,31 @@ type HeteroCMPResult struct {
 	Energy   energy.Breakdown
 }
 
+// ED returns the energy-delay product (J·s).
+func (r HeteroCMPResult) ED() float64 {
+	return energy.ED(r.Energy.Total(), r.TimeSec)
+}
+
 // ED2 returns the energy-delay-squared product.
 func (r HeteroCMPResult) ED2() float64 {
 	return energy.ED2(r.Energy.Total(), r.TimeSec)
 }
+
+// HeteroCMPResult implements the device-independent Result surface. The
+// config name folds the migration flag in, matching the cmp runner's
+// config namespace.
+var _ Result = HeteroCMPResult{}
+
+func (r HeteroCMPResult) DeviceKind() string { return "cmp" }
+func (r HeteroCMPResult) ConfigName() string {
+	if r.Config.Migrate {
+		return "HeteroCMP"
+	}
+	return "HeteroCMP-nomig"
+}
+func (r HeteroCMPResult) WorkloadName() string  { return r.Workload }
+func (r HeteroCMPResult) Seconds() float64      { return r.TimeSec }
+func (r HeteroCMPResult) TotalEnergyJ() float64 { return r.Energy.Total() }
 
 // RunHeteroCMP executes a workload on the CMOS+TFET migration multicore.
 func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroCMPResult, error) {
@@ -310,7 +331,6 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 				maxCycles = s.Cycles
 			}
 		}
-		wall := time.Since(wallStart).Seconds()
 		rec := obs.RunRecord{
 			Kind: "cmp", Config: name, Workload: prof.Name,
 			Seed:         opts.Seed,
@@ -318,15 +338,11 @@ func RunHeteroCMP(hc HeteroCMPConfig, prof trace.Profile, opts RunOpts) (HeteroC
 			TimeSec:          makespan,
 			CycleAttribution: attr.Map(),
 			EnergyJ:          res.Energy.Map(),
-			WallSeconds:      wall,
 		}
 		if coreCycles > 0 {
 			rec.IPC = float64(insts) / float64(coreCycles)
 		}
-		if wall > 0 {
-			rec.SimRateKIPS = float64(insts+uint64(n)*opts.WarmupInstructions) / wall / 1e3
-		}
-		o.AddRecord(rec)
+		o.FinishRecord(rec, wallStart, insts+uint64(n)*opts.WarmupInstructions)
 	}
 	return res, nil
 }

@@ -1,0 +1,220 @@
+package hetsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hetcore/internal/gpu"
+	"hetcore/internal/trace"
+)
+
+// Result is the surface every device measurement shares, whatever the
+// device kind. The harness, the engine result codec and the SoC
+// composition layer consume simulations through it; the concrete types
+// (CPUResult, GPUResult, HeteroCMPResult, soc.Result) stay available for
+// device-specific fields behind a type assertion.
+type Result interface {
+	// DeviceKind is the engine-key device field: "cpu", "gpu", "cmp",
+	// "soc".
+	DeviceKind() string
+	// ConfigName names the simulated configuration (Table IV name, or a
+	// composed SoC mix like "c2t4g8").
+	ConfigName() string
+	// WorkloadName names the workload or kernel.
+	WorkloadName() string
+	// Seconds is the simulated execution time.
+	Seconds() float64
+	// TotalEnergyJ is the total modelled energy in joules (DRAM excluded,
+	// matching the paper's scope).
+	TotalEnergyJ() float64
+	// ED is the energy-delay product (J·s); ED2 the energy-delay².
+	ED() float64
+	ED2() float64
+}
+
+// Runner is one device kind's simulation entry point: it resolves a
+// named configuration and workload and executes the run, attaching
+// energy accounting and telemetry the same way for every kind. The CPU,
+// GPU and migration-CMP paths register here (the SoC layer adds its
+// own), so the harness, the dist resolver and the CLIs drive every
+// device through one interface — a new device kind is one RegisterRunner
+// call, not another copy of the run path.
+type Runner struct {
+	// Device is the engine-key device field ("cpu", "gpu", "cmp", "soc").
+	Device string
+	// InstrInKey reports whether the instruction budget changes this
+	// device's results. Devices that ignore it (GPU kernels fix their own
+	// length) pin Instr to 0 in stock engine keys so equal work shares
+	// one cache entry, and the dist resolver rejects nonzero budgets.
+	InstrInKey bool
+	// Configs and Workloads enumerate the valid names, in registry order.
+	Configs   func() []string
+	Workloads func() []string
+	// Run executes the named workload on the named configuration. It
+	// must be a pure function of (config, workload, opts): the engine
+	// caches its results by key.
+	Run func(config, workload string, opts RunOpts) (Result, error)
+}
+
+// HasConfig reports whether name is a valid configuration of r.
+func (r Runner) HasConfig(name string) bool {
+	for _, c := range r.Configs() {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasWorkload reports whether name is a valid workload of r.
+func (r Runner) HasWorkload(name string) bool {
+	for _, w := range r.Workloads() {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	runnerMu sync.RWMutex
+	runners  = map[string]Runner{}
+)
+
+// RegisterRunner adds a device runner to the registry. Call from init;
+// registering the same device twice panics (two entry points for one
+// key space would break the engine's cache contract).
+func RegisterRunner(r Runner) {
+	if r.Device == "" || r.Configs == nil || r.Workloads == nil || r.Run == nil {
+		panic(fmt.Sprintf("hetsim: incomplete runner %+v", r))
+	}
+	runnerMu.Lock()
+	defer runnerMu.Unlock()
+	if _, ok := runners[r.Device]; ok {
+		panic(fmt.Sprintf("hetsim: device %q registered twice", r.Device))
+	}
+	runners[r.Device] = r
+}
+
+// RunnerFor returns the runner registered for the device kind.
+func RunnerFor(device string) (Runner, bool) {
+	runnerMu.RLock()
+	defer runnerMu.RUnlock()
+	r, ok := runners[device]
+	return r, ok
+}
+
+// Runners returns every registered runner, sorted by device name.
+func Runners() []Runner {
+	runnerMu.RLock()
+	defer runnerMu.RUnlock()
+	out := make([]Runner, 0, len(runners))
+	for _, r := range runners {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// RunDevice executes one named simulation through the runner registry.
+func RunDevice(device, config, workload string, opts RunOpts) (Result, error) {
+	r, ok := RunnerFor(device)
+	if !ok {
+		devs := make([]string, 0, len(runners))
+		for _, reg := range Runners() {
+			devs = append(devs, reg.Device)
+		}
+		return nil, fmt.Errorf("hetsim: unknown device kind %q (have %v)", device, devs)
+	}
+	return r.Run(config, workload, opts)
+}
+
+func init() {
+	RegisterRunner(Runner{
+		Device:     "cpu",
+		InstrInKey: true,
+		Configs: func() []string {
+			cfgs := CPUConfigs()
+			names := make([]string, len(cfgs))
+			for i, c := range cfgs {
+				names[i] = c.Name
+			}
+			return names
+		},
+		Workloads: cpuWorkloadNames,
+		Run: func(config, workload string, opts RunOpts) (Result, error) {
+			cfg, err := CPUConfigByName(config)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := trace.CPUWorkload(workload)
+			if err != nil {
+				return nil, err
+			}
+			return RunCPU(cfg, prof, opts)
+		},
+	})
+	RegisterRunner(Runner{
+		Device:     "gpu",
+		InstrInKey: false,
+		Configs: func() []string {
+			cfgs := GPUConfigs()
+			names := make([]string, len(cfgs))
+			for i, c := range cfgs {
+				names[i] = c.Name
+			}
+			return names
+		},
+		Workloads: func() []string {
+			kerns := gpu.Kernels()
+			names := make([]string, len(kerns))
+			for i, k := range kerns {
+				names[i] = k.Name
+			}
+			return names
+		},
+		Run: func(config, workload string, opts RunOpts) (Result, error) {
+			cfg, err := GPUConfigByName(config)
+			if err != nil {
+				return nil, err
+			}
+			kern, err := gpu.KernelByName(workload)
+			if err != nil {
+				return nil, err
+			}
+			return RunGPUObserved(cfg, kern, opts.Seed, opts.Obs)
+		},
+	})
+	RegisterRunner(Runner{
+		Device:     "cmp",
+		InstrInKey: true,
+		Configs:    func() []string { return []string{"HeteroCMP", "HeteroCMP-nomig"} },
+		Workloads:  cpuWorkloadNames,
+		Run: func(config, workload string, opts RunOpts) (Result, error) {
+			hc := DefaultHeteroCMP()
+			switch config {
+			case "HeteroCMP":
+			case "HeteroCMP-nomig":
+				hc.Migrate = false
+			default:
+				return nil, fmt.Errorf("hetsim: unknown cmp config %q (have [HeteroCMP HeteroCMP-nomig])", config)
+			}
+			prof, err := trace.CPUWorkload(workload)
+			if err != nil {
+				return nil, err
+			}
+			return RunHeteroCMP(hc, prof, opts)
+		},
+	})
+}
+
+// cpuWorkloadNames lists the CPU workload profiles by name.
+func cpuWorkloadNames() []string {
+	profs := trace.CPUWorkloads()
+	names := make([]string, len(profs))
+	for i, p := range profs {
+		names[i] = p.Name
+	}
+	return names
+}

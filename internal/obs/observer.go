@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // DefaultSampleInterval is the live-telemetry sampling period in
 // simulated cycles. 16384 cycles is ~8 µs of simulated time at 2 GHz:
@@ -101,6 +104,23 @@ func (o *Observer) AddEvent(e Event) {
 		return
 	}
 	o.Events.Add(e)
+}
+
+// FinishRecord stamps the host-timing fields on rec — wall-clock seconds
+// since start and the simulation rate over simInstr (count warmup work
+// too: it is host effort) — then adds the record. Every device runner
+// ends its run through this one helper so host timing is attached
+// uniformly. No-op when disabled.
+func (o *Observer) FinishRecord(rec RunRecord, start time.Time, simInstr uint64) {
+	if o == nil {
+		return
+	}
+	wall := time.Since(start).Seconds()
+	rec.WallSeconds = wall
+	if wall > 0 {
+		rec.SimRateKIPS = float64(simInstr) / wall / 1e3
+	}
+	o.AddRecord(rec)
 }
 
 // SetPhase labels subsequent run records with the experiment id.

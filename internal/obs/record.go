@@ -151,6 +151,12 @@ type Manifest struct {
 	EngineCacheHits  uint64 `json:"engine_cache_hits"`
 	EngineDiskHits   uint64 `json:"engine_disk_hits"`
 	EngineRemoteJobs uint64 `json:"engine_remote_jobs"`
+
+	// SoC design-space search stats: how many core mixes fit the budget
+	// and were evaluated vs rejected by the footprint sum alone. Zero
+	// (and omitted) when no SoC search ran.
+	SoCConfigsEvaluated  uint64 `json:"soc_configs_evaluated,omitempty"`
+	SoCConfigsOverBudget uint64 `json:"soc_configs_over_budget,omitempty"`
 }
 
 // Report is the -metrics-out payload: manifest, metrics snapshot and the

@@ -1,0 +1,113 @@
+package soc
+
+import (
+	"fmt"
+
+	"hetcore/internal/hetsim"
+)
+
+// Kappa converts GPU wave instructions to CPU-equivalent instructions: a
+// 64-lane wavefront instruction does the work of ~16 scalar CPU
+// instructions once divergence, masking and redundant lanes are
+// discounted (a 25% utilisation haircut on the lane count). Used to
+// express GPU throughput and per-instruction energy in the same units as
+// the cores so the Amdahl split can move work between them.
+const Kappa = 16.0
+
+// CoreComponent is one CPU core type reduced to its composition
+// parameters, measured from a 1-core hetsim run of the workload.
+type CoreComponent struct {
+	// Config is the hetsim CPU configuration measured (1-core variant).
+	Config string
+	// Workload is the measured workload profile.
+	Workload string
+	// RateIPS is the core's committed-instruction throughput (instr/s).
+	RateIPS float64
+	// DynJPerInstr is the dynamic energy per committed instruction (J).
+	DynJPerInstr float64
+	// LeakW is the core's leakage power while the SoC is on (W).
+	LeakW float64
+}
+
+// CoreComponentOf derives composition parameters from a 1-core
+// measurement.
+func CoreComponentOf(r hetsim.CPUResult) (CoreComponent, error) {
+	if r.Cores != 1 {
+		return CoreComponent{}, fmt.Errorf("soc: component run %s/%s has %d cores, want 1",
+			r.Config, r.Workload, r.Cores)
+	}
+	if r.Instructions == 0 || r.TimeSec <= 0 {
+		return CoreComponent{}, fmt.Errorf("soc: component run %s/%s measured no work",
+			r.Config, r.Workload)
+	}
+	return CoreComponent{
+		Config:       r.Config,
+		Workload:     r.Workload,
+		RateIPS:      float64(r.Instructions) / r.TimeSec,
+		DynJPerInstr: r.Energy.Dynamic() / float64(r.Instructions),
+		LeakW:        r.Energy.Leakage() / r.TimeSec,
+	}, nil
+}
+
+// GPUComponent is the GPU reduced to per-CU composition parameters,
+// measured from one kernel run and scaled linearly in the CU count.
+type GPUComponent struct {
+	// Config is the hetsim GPU configuration measured.
+	Config string
+	// Kernel is the measured kernel.
+	Kernel string
+	// RateIPSPerCU is the CPU-equivalent instruction throughput of one
+	// CU (Kappa × wave-instruction rate / measured CUs).
+	RateIPSPerCU float64
+	// DynJPerInstr is the dynamic energy per CPU-equivalent instruction.
+	DynJPerInstr float64
+	// LeakWPerCU is one CU's leakage power while the SoC is on (W).
+	LeakWPerCU float64
+}
+
+// GPUComponentOf derives per-CU composition parameters from a kernel
+// measurement.
+func GPUComponentOf(r hetsim.GPUResult) (GPUComponent, error) {
+	if r.CUs <= 0 || r.WaveInsts == 0 || r.TimeSec <= 0 {
+		return GPUComponent{}, fmt.Errorf("soc: GPU component run %s/%s measured no work",
+			r.Config, r.Kernel)
+	}
+	equiv := Kappa * float64(r.WaveInsts)
+	return GPUComponent{
+		Config:       r.Config,
+		Kernel:       r.Kernel,
+		RateIPSPerCU: equiv / r.TimeSec / float64(r.CUs),
+		DynJPerInstr: r.Energy.Dyn / equiv,
+		LeakWPerCU:   r.Energy.Leak / r.TimeSec / float64(r.CUs),
+	}, nil
+}
+
+// Components bundles the measured building blocks one (workload, seed,
+// instruction budget) point composes from. GPU may be zero when no
+// evaluated mix has CUs.
+type Components struct {
+	CMOS CoreComponent
+	TFET CoreComponent
+	GPU  GPUComponent
+}
+
+// Validate checks the core components carry usable rates (the GPU is
+// checked only when a mix actually uses it).
+func (c Components) Validate() error {
+	if c.CMOS.RateIPS <= 0 {
+		return fmt.Errorf("soc: CMOS component (%s/%s) has no rate", c.CMOS.Config, c.CMOS.Workload)
+	}
+	if c.TFET.RateIPS <= 0 {
+		return fmt.Errorf("soc: TFET component (%s/%s) has no rate", c.TFET.Config, c.TFET.Workload)
+	}
+	return nil
+}
+
+// Component source configurations: the SoC's CMOS and TFET cores are the
+// paper's BaseCMOS and BaseTFET cores; its GPU is the AdvHet
+// hetero-device GPU.
+const (
+	CMOSCoreConfig = "BaseCMOS"
+	TFETCoreConfig = "BaseTFET"
+	GPUConfig      = "AdvHet"
+)

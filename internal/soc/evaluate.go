@@ -1,0 +1,167 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+
+	"hetcore/internal/energy"
+	"hetcore/internal/obs"
+	"hetcore/internal/trace"
+)
+
+// Result is one evaluated (SoC config, workload) point. All fields are
+// plain values so the dist codec round-trips it exactly.
+//
+// The time model is the lumos-style Amdahl composition: the serial
+// fraction of the instruction stream runs on the fastest core present;
+// the parallel remainder splits between the GPU (OffloadFrac of it, when
+// CUs exist) and the cores (rate-proportional shares, so they finish
+// together); the parallel phase ends when the slower of the two sides
+// does. Dynamic energy charges each instruction at its executing
+// component's per-instruction cost; every powered component leaks for
+// the whole runtime. The fixed uncore counts against the area/power
+// budget only, not the energy composition (its activity is already
+// folded into the per-core measurements' L2/L3 terms).
+type Result struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+
+	CMOSCores int `json:"cmos_cores"`
+	TFETCores int `json:"tfet_cores"`
+	GPUCUs    int `json:"gpu_cus"`
+
+	// AreaMM2 and PeakW are the static footprint sums (uncore included).
+	AreaMM2 float64 `json:"area_mm2"`
+	PeakW   float64 `json:"peak_w"`
+
+	// SerialFrac is the workload's Amdahl serial fraction; OffloadFrac
+	// the GPU share of parallel work actually applied (0 without CUs).
+	SerialFrac  float64 `json:"serial_frac"`
+	OffloadFrac float64 `json:"offload_frac"`
+
+	// Instructions is the composed instruction total; SerialInstrs,
+	// CoreInstrs and GPUInstrs its split (floats: shares are fractional).
+	Instructions uint64  `json:"instructions"`
+	SerialInstrs float64 `json:"serial_instrs"`
+	CoreInstrs   float64 `json:"core_instrs"`
+	GPUInstrs    float64 `json:"gpu_instrs"`
+
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	TimeSec     float64 `json:"time_sec"`
+
+	CoreDynJ float64 `json:"core_dyn_j"`
+	GPUDynJ  float64 `json:"gpu_dyn_j"`
+	LeakJ    float64 `json:"leak_j"`
+}
+
+// Result implements the hetsim device-independent Result surface.
+func (r Result) DeviceKind() string    { return "soc" }
+func (r Result) ConfigName() string    { return r.Config }
+func (r Result) WorkloadName() string  { return r.Workload }
+func (r Result) Seconds() float64      { return r.TimeSec }
+func (r Result) TotalEnergyJ() float64 { return r.CoreDynJ + r.GPUDynJ + r.LeakJ }
+func (r Result) ED() float64           { return energy.ED(r.TotalEnergyJ(), r.TimeSec) }
+func (r Result) ED2() float64          { return energy.ED2(r.TotalEnergyJ(), r.TimeSec) }
+
+// Record renders the point as a run record (host timing is stamped by
+// the caller via Observer.FinishRecord).
+func (r Result) Record(seed uint64) obs.RunRecord {
+	return obs.RunRecord{
+		Kind: "soc", Config: r.Config, Workload: r.Workload, Seed: seed,
+		Instructions: r.Instructions,
+		TimeSec:      r.TimeSec,
+		EnergyJ: map[string]float64{
+			"core_dyn": r.CoreDynJ, "gpu_dyn": r.GPUDynJ, "leak": r.LeakJ,
+		},
+		Extra: map[string]float64{
+			"area_mm2":     r.AreaMM2,
+			"peak_w":       r.PeakW,
+			"serial_sec":   r.SerialSec,
+			"parallel_sec": r.ParallelSec,
+			"offload_frac": r.OffloadFrac,
+		},
+	}
+}
+
+// Evaluate composes one (config, workload) point from measured
+// components. totalInstr 0 defaults to the hetsim CPU default (400 000)
+// so stock engine keys line up. Pure float arithmetic in declared order:
+// equal inputs give bit-equal outputs on every host.
+func Evaluate(cfg Config, wl Workload, totalInstr uint64, comps Components) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := comps.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.GPUCUs > 0 && comps.GPU.RateIPSPerCU <= 0 {
+		return Result{}, fmt.Errorf("soc: %s has %d CUs but no GPU component measured",
+			cfg.Name(), cfg.GPUCUs)
+	}
+	if totalInstr == 0 {
+		totalInstr = 400_000
+	}
+	prof, err := trace.CPUWorkload(wl.Name)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Instruction split, truncated the same way RunCPU rounds a 1-core
+	// quota. A single-core SoC therefore tracks the component run to the
+	// core's chunk-boundary overshoot (a run commits a handful of
+	// instructions past its quota; the composition charges the quota).
+	serialI := float64(uint64(float64(totalInstr) * prof.SerialFrac))
+	parallelI := float64(uint64(float64(totalInstr) * (1 - prof.SerialFrac)))
+
+	c := float64(cfg.CMOSCores)
+	t := float64(cfg.TFETCores)
+	g := float64(cfg.GPUCUs)
+
+	// Serial phase on the fastest core present.
+	serial := comps.CMOS
+	if cfg.CMOSCores == 0 || (cfg.TFETCores > 0 && comps.TFET.RateIPS > comps.CMOS.RateIPS) {
+		serial = comps.TFET
+	}
+	serialSec := serialI / serial.RateIPS
+
+	// Parallel phase: OffloadFrac of the work to the GPU when CUs exist,
+	// the rest across cores in rate proportion.
+	offloadFrac := 0.0
+	if cfg.GPUCUs > 0 {
+		offloadFrac = wl.OffloadFrac
+	}
+	gpuI := parallelI * offloadFrac
+	coreI := parallelI - gpuI
+	coreRate := c*comps.CMOS.RateIPS + t*comps.TFET.RateIPS
+	coreSec := coreI / coreRate
+	gpuSec := 0.0
+	if gpuI > 0 {
+		gpuSec = gpuI / (g * comps.GPU.RateIPSPerCU)
+	}
+	parallelSec := math.Max(coreSec, gpuSec)
+	timeSec := serialSec + parallelSec
+
+	// Dynamic energy per executing component; leakage of every powered
+	// component over the whole runtime.
+	coreDyn := serialI*serial.DynJPerInstr +
+		coreI*(c*comps.CMOS.RateIPS*comps.CMOS.DynJPerInstr+
+			t*comps.TFET.RateIPS*comps.TFET.DynJPerInstr)/coreRate
+	gpuDyn := gpuI * comps.GPU.DynJPerInstr
+	leakW := c*comps.CMOS.LeakW + t*comps.TFET.LeakW
+	if cfg.GPUCUs > 0 {
+		leakW += g * comps.GPU.LeakWPerCU
+	}
+
+	fp := cfg.Footprint()
+	return Result{
+		Config: cfg.Name(), Workload: wl.Name,
+		CMOSCores: cfg.CMOSCores, TFETCores: cfg.TFETCores, GPUCUs: cfg.GPUCUs,
+		AreaMM2: fp.AreaMM2, PeakW: fp.PeakW,
+		SerialFrac: prof.SerialFrac, OffloadFrac: offloadFrac,
+		Instructions: uint64(serialI) + uint64(parallelI),
+		SerialInstrs: serialI, CoreInstrs: coreI, GPUInstrs: gpuI,
+		SerialSec: serialSec, ParallelSec: parallelSec, TimeSec: timeSec,
+		CoreDynJ: coreDyn, GPUDynJ: gpuDyn, LeakJ: leakW * timeSec,
+	}, nil
+}

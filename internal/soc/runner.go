@@ -1,0 +1,114 @@
+package soc
+
+import (
+	"time"
+
+	"hetcore/internal/gpu"
+	"hetcore/internal/hetsim"
+	"hetcore/internal/trace"
+)
+
+// MeasureComponents runs the component simulations directly — 1-core
+// BaseCMOS and BaseTFET on the workload, plus the AdvHet GPU on the
+// paired kernel when needGPU — and derives composition parameters. The
+// engine-based search in the harness computes the same components
+// through memoized run-plan jobs; both paths execute the same pure
+// functions of (workload, seed, instruction budget), so a design point
+// evaluates identically whether it runs locally, from cache or on a
+// remote daemon.
+func MeasureComponents(wl Workload, seed, totalInstr uint64, needGPU bool) (Components, error) {
+	prof, err := trace.CPUWorkload(wl.Name)
+	if err != nil {
+		return Components{}, err
+	}
+	opts := hetsim.RunOpts{TotalInstructions: totalInstr, Seed: seed}
+	var comps Components
+	for _, core := range []struct {
+		config string
+		dst    *CoreComponent
+	}{
+		{CMOSCoreConfig, &comps.CMOS},
+		{TFETCoreConfig, &comps.TFET},
+	} {
+		cfg, err := hetsim.CPUConfigByName(core.config)
+		if err != nil {
+			return Components{}, err
+		}
+		res, err := hetsim.RunCPU(hetsim.SingleCore(cfg), prof, opts)
+		if err != nil {
+			return Components{}, err
+		}
+		*core.dst, err = CoreComponentOf(res)
+		if err != nil {
+			return Components{}, err
+		}
+	}
+	if needGPU {
+		gcfg, err := hetsim.GPUConfigByName(GPUConfig)
+		if err != nil {
+			return Components{}, err
+		}
+		kern, err := gpu.KernelByName(wl.Kernel)
+		if err != nil {
+			return Components{}, err
+		}
+		gres, err := hetsim.RunGPU(gcfg, kern, seed)
+		if err != nil {
+			return Components{}, err
+		}
+		comps.GPU, err = GPUComponentOf(gres)
+		if err != nil {
+			return Components{}, err
+		}
+	}
+	return comps, nil
+}
+
+// The SoC registers as a fourth device kind: the harness, the dist
+// resolver and RunDevice drive it exactly like cpu/gpu/cmp. A job keyed
+// soc/<mix>/<workload>/s<seed>/i<instr> is self-contained — this Run
+// measures its own components — which is what lets remote daemons
+// execute SoC design points from the key alone.
+func init() {
+	hetsim.RegisterRunner(hetsim.Runner{
+		Device:     "soc",
+		InstrInKey: true,
+		Configs: func() []string {
+			space := DefaultSpace()
+			names := make([]string, len(space))
+			for i, cfg := range space {
+				names[i] = cfg.Name()
+			}
+			return names
+		},
+		Workloads: func() []string {
+			wls := Workloads()
+			names := make([]string, len(wls))
+			for i, w := range wls {
+				names[i] = w.Name
+			}
+			return names
+		},
+		Run: func(config, workload string, opts hetsim.RunOpts) (hetsim.Result, error) {
+			cfg, err := ParseConfig(config)
+			if err != nil {
+				return nil, err
+			}
+			wl, err := WorkloadByName(workload)
+			if err != nil {
+				return nil, err
+			}
+			wallStart := time.Now()
+			comps, err := MeasureComponents(wl, opts.Seed, opts.TotalInstructions, cfg.GPUCUs > 0)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Evaluate(cfg, wl, opts.TotalInstructions, comps)
+			if err != nil {
+				return nil, err
+			}
+			opts.Obs.FinishRecord(res.Record(opts.Seed), wallStart, res.Instructions)
+			return res, nil
+		},
+	})
+}

@@ -1,0 +1,89 @@
+// Package soc composes the HetCore device models into budgeted
+// many-core systems-on-chip: N Si-CMOS cores, M TFET cores and an
+// optional TFET-CMOS hetero-device GPU sharing one die under an area and
+// peak-power budget (energy.Budget). It follows the lumos HetSys/MPSoC
+// style of analysis — a serial core plus throughput cores under a fixed
+// budget with an Amdahl serial/parallel split per workload — which in
+// turn follows Chung et al.'s single-chip heterogeneous-computing
+// framework.
+//
+// The composition reuses the existing core and GPU models as measured
+// components: a 1-core BaseCMOS run, a 1-core BaseTFET run and an AdvHet
+// GPU kernel run yield per-core instruction rates, per-instruction
+// dynamic energies and leakage powers, and Evaluate combines them
+// analytically. Each evaluated (config, workload) point is a pure
+// function of (config name, workload, seed, instruction budget), so the
+// design-space search runs as run-plan engine jobs and the memoizing
+// cache, the disk cache and the dist layer absorb the combinatorics.
+package soc
+
+import (
+	"fmt"
+
+	"hetcore/internal/device"
+	"hetcore/internal/energy"
+)
+
+// Config is one SoC core mix. Its canonical name "c<N>t<M>g<K>" is the
+// engine-key config string: parseable, unambiguous and stable, so any
+// daemon can reconstruct the design from the key alone.
+type Config struct {
+	// CMOSCores and TFETCores count the Si-CMOS (BaseCMOS-class) and
+	// TFET (BaseTFET-class) cores.
+	CMOSCores, TFETCores int
+	// GPUCUs counts AdvHet GPU compute units (0 = no GPU on die).
+	GPUCUs int
+}
+
+// Name returns the canonical "c<N>t<M>g<K>" form.
+func (c Config) Name() string {
+	return fmt.Sprintf("c%dt%dg%d", c.CMOSCores, c.TFETCores, c.GPUCUs)
+}
+
+// ParseConfig parses a canonical "c<N>t<M>g<K>" name. Only valid mixes
+// parse: engine keys must name designs that can actually evaluate.
+func ParseConfig(name string) (Config, error) {
+	var c Config
+	n, err := fmt.Sscanf(name, "c%dt%dg%d", &c.CMOSCores, &c.TFETCores, &c.GPUCUs)
+	if n != 3 || err != nil || c.Name() != name {
+		return Config{}, fmt.Errorf("soc: config %q is not of the form c<N>t<M>g<K>", name)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Validate rejects impossible mixes. A SoC needs at least one core: the
+// serial phase (and the OS) cannot run on a bare GPU.
+func (c Config) Validate() error {
+	if c.CMOSCores < 0 || c.TFETCores < 0 || c.GPUCUs < 0 {
+		return fmt.Errorf("soc: %s has a negative component count", c.Name())
+	}
+	if c.CMOSCores+c.TFETCores == 0 {
+		return fmt.Errorf("soc: %s has no CPU core to run the serial phase", c.Name())
+	}
+	return nil
+}
+
+// Footprint sums the static silicon cost of the mix: the fixed uncore
+// plus every core and CU.
+func (c Config) Footprint() device.Footprint {
+	f := device.UncoreFootprint
+	f = f.Add(device.CMOSCoreFootprint.Times(c.CMOSCores))
+	f = f.Add(device.TFETCoreFootprint.Times(c.TFETCores))
+	f = f.Add(device.GPUCUFootprint.Times(c.GPUCUs))
+	return f
+}
+
+// Fits reports whether the mix's footprint stays within the budget.
+func (c Config) Fits(b energy.Budget) bool {
+	f := c.Footprint()
+	return b.Fits(f.AreaMM2, f.PeakW)
+}
+
+// DefaultBudget is the search's reference constraint: a 20 W / 50 mm²
+// mobile-class die.
+func DefaultBudget() energy.Budget {
+	return energy.Budget{AreaMM2: 50, PowerW: 20}
+}

@@ -1,0 +1,122 @@
+package soc
+
+import (
+	"sort"
+
+	"hetcore/internal/energy"
+)
+
+// DefaultSpace enumerates the design-space-search candidates: 0–8 CMOS
+// cores × 0–12 TFET cores × {0, 4, 8, 16} GPU CUs, minus the coreless
+// mixes (a GPU cannot run the serial phase alone). 464 candidate mixes;
+// roughly 200 fit the default 20 W / 50 mm² budget. The enumeration
+// order is fixed (CUs, then CMOS, then TFET ascending) so searches are
+// deterministic.
+func DefaultSpace() []Config {
+	var out []Config
+	for _, g := range []int{0, 4, 8, 16} {
+		for c := 0; c <= 8; c++ {
+			for t := 0; t <= 12; t++ {
+				cfg := Config{CMOSCores: c, TFETCores: t, GPUCUs: g}
+				if cfg.Validate() != nil {
+					continue
+				}
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// Partition splits candidate mixes into those fitting the budget and
+// those rejected by it, preserving order. Rejected mixes never simulate:
+// the budget check is a pure footprint sum.
+func Partition(space []Config, b energy.Budget) (in, over []Config) {
+	for _, cfg := range space {
+		if cfg.Fits(b) {
+			in = append(in, cfg)
+		} else {
+			over = append(over, cfg)
+		}
+	}
+	return in, over
+}
+
+// Summary aggregates one mix over a workload set for the Pareto report:
+// total time and energy summed across workloads (equal weighting, the
+// paper's style of mean-over-suite comparison).
+type Summary struct {
+	Config    Config
+	Name      string
+	AreaMM2   float64
+	PeakW     float64
+	TimeSec   float64
+	EnergyJ   float64
+	Workloads int
+}
+
+// ED2 is the energy-delay² of the aggregate.
+func (s Summary) ED2() float64 { return energy.ED2(s.EnergyJ, s.TimeSec) }
+
+// Summarize groups evaluated points by config and sums time and energy
+// over workloads. The output is sorted by config name.
+func Summarize(results []Result) []Summary {
+	byName := map[string]*Summary{}
+	var order []string
+	for _, r := range results {
+		s, ok := byName[r.Config]
+		if !ok {
+			cfg, err := ParseConfig(r.Config)
+			if err != nil {
+				continue
+			}
+			s = &Summary{Config: cfg, Name: r.Config, AreaMM2: r.AreaMM2, PeakW: r.PeakW}
+			byName[r.Config] = s
+			order = append(order, r.Config)
+		}
+		s.TimeSec += r.TimeSec
+		s.EnergyJ += r.TotalEnergyJ()
+		s.Workloads++
+	}
+	sort.Strings(order)
+	out := make([]Summary, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}
+
+// ParetoFront returns the summaries not dominated on (time, energy):
+// a mix survives unless another is no worse on both axes and strictly
+// better on one. Ties on both axes keep the lexicographically first
+// name. Sorted by time ascending, then energy, then name.
+func ParetoFront(sums []Summary) []Summary {
+	sorted := make([]Summary, len(sums))
+	copy(sorted, sums)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.TimeSec != b.TimeSec {
+			return a.TimeSec < b.TimeSec
+		}
+		if a.EnergyJ != b.EnergyJ {
+			return a.EnergyJ < b.EnergyJ
+		}
+		return a.Name < b.Name
+	})
+	var front []Summary
+	bestEnergy := 0.0
+	for _, s := range sorted {
+		if len(front) > 0 {
+			prev := front[len(front)-1]
+			if s.TimeSec == prev.TimeSec && s.EnergyJ == prev.EnergyJ {
+				continue // exact tie: keep the first name
+			}
+			if s.EnergyJ >= bestEnergy {
+				continue // dominated by an earlier (faster) mix
+			}
+		}
+		front = append(front, s)
+		bestEnergy = s.EnergyJ
+	}
+	return front
+}

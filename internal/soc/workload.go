@@ -1,0 +1,65 @@
+package soc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workload pairs one CPU workload profile with the GPU kernel that
+// stands in for its offloadable inner loops, plus the fraction of the
+// parallel work a runtime would offload when a GPU is on die. The
+// fractions are first-order offloadability estimates — data-parallel
+// kernels (sorts, dense linear algebra, Monte Carlo) offload about half
+// their parallel work; irregular pointer-chasing codes offload little or
+// nothing — not measurements. OffloadFrac 0 means the workload never
+// uses the GPU: an on-die GPU then only costs leakage.
+type Workload struct {
+	// Name is the CPU workload profile (trace.CPUWorkload name).
+	Name string
+	// Kernel is the paired GPU kernel (gpu.KernelByName name).
+	Kernel string
+	// OffloadFrac is the fraction of the parallel instruction stream
+	// offloaded to the GPU when present, in [0,1].
+	OffloadFrac float64
+}
+
+// workloadTable maps each of the 14 CPU profiles to its GPU pairing.
+var workloadTable = []Workload{
+	{Name: "barnes", Kernel: "Reduction", OffloadFrac: 0.35},
+	{Name: "blackscholes", Kernel: "MonteCarloAsian", OffloadFrac: 0.60},
+	{Name: "canneal", Kernel: "Histogram", OffloadFrac: 0},
+	{Name: "cholesky", Kernel: "MatrixMultiplication", OffloadFrac: 0.40},
+	{Name: "fft", Kernel: "FastWalshTransform", OffloadFrac: 0.50},
+	{Name: "fluidanimate", Kernel: "DCT", OffloadFrac: 0.40},
+	{Name: "fmm", Kernel: "PrefixSum", OffloadFrac: 0.30},
+	{Name: "lu", Kernel: "MatrixTranspose", OffloadFrac: 0.45},
+	{Name: "radiosity", Kernel: "SimpleConvolution", OffloadFrac: 0.25},
+	{Name: "radix", Kernel: "RadixSort", OffloadFrac: 0.55},
+	{Name: "raytrace", Kernel: "SobelFilter", OffloadFrac: 0.30},
+	{Name: "streamcluster", Kernel: "ScanLargeArrays", OffloadFrac: 0.45},
+	{Name: "water-nsq", Kernel: "MersenneTwister", OffloadFrac: 0.20},
+	{Name: "water-sp", Kernel: "QuasiRandomSequence", OffloadFrac: 0.20},
+}
+
+// Workloads returns the pairing table sorted by workload name.
+func Workloads() []Workload {
+	out := make([]Workload, len(workloadTable))
+	copy(out, workloadTable)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WorkloadByName returns the pairing for one CPU workload.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range workloadTable {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	names := make([]string, len(workloadTable))
+	for i, w := range workloadTable {
+		names[i] = w.Name
+	}
+	sort.Strings(names)
+	return Workload{}, fmt.Errorf("soc: unknown workload %q (have %v)", name, names)
+}

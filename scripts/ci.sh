@@ -44,7 +44,7 @@ echo "== engine determinism (go test -race) =="
 # its tests (plus the harness golden jobs=1-vs-jobs=8 comparison) get an
 # explicit race-enabled pass before the full suite.
 go test -race ./internal/engine/
-go test -race -run 'TestFigTablesDeterministicAcrossJobs|TestEngineCacheSharedAcrossFigures' ./internal/harness/
+go test -race -run 'TestFigTablesDeterministicAcrossJobs|TestEngineCacheSharedAcrossFigures|TestSoCDeterministicAcrossJobs' ./internal/harness/
 
 echo "== go test -race =="
 go test -race ./...
@@ -108,6 +108,34 @@ cmp "$tmp/dist-run1.txt" "$tmp/dist-run3.txt" || {
     cat "$tmp/hetserved.log" >&2
     exit 1
 }
+
+echo "== soc gate (determinism + cached rerun) =="
+# The SoC design-space search must render byte-identical tables across
+# -jobs widths, and a second sweep against the same -cache-dir must
+# simulate nothing: its components and compositions are all engine jobs,
+# so they disk-cache like any figure suite.
+soc_run() {
+    # $1: output file, extra args follow.
+    out=$1; shift
+    "$tmp/hetcore" soc -workloads fft,radix -instr 40000 "$@" >"$out"
+}
+
+soc_run "$tmp/soc-jobs1.txt" -jobs 1 -cache-dir "$tmp/soc-cache"
+soc_run "$tmp/soc-jobs8.txt" -jobs 8 -cache-dir "$tmp/soc-cache" \
+    -metrics-out "$tmp/soc-rerun.json"
+cmp "$tmp/soc-jobs1.txt" "$tmp/soc-jobs8.txt" || {
+    echo "soc search differs between -jobs=1 and -jobs=8" >&2
+    exit 1
+}
+if ! grep -q '"engine_jobs_run": 0' "$tmp/soc-rerun.json"; then
+    echo "cached soc rerun still simulated (engine_jobs_run != 0):" >&2
+    grep '"engine_' "$tmp/soc-rerun.json" >&2
+    exit 1
+fi
+if ! grep -q '"soc_configs_evaluated"' "$tmp/soc-rerun.json"; then
+    echo "soc manifest counters missing from the report" >&2
+    exit 1
+fi
 
 echo "== load gate (hetload p99 vs baseline) =="
 # Drive a short closed-loop job stream at the live daemon and gate the
