@@ -7,14 +7,22 @@
 //	hetcore run -exp fig7 [-instr N] [-seed S] [-workloads a,b] [-kernels X,Y] [-csv]
 //	hetcore all [-instr N] [-seed S] [-csv]
 //	hetcore soc [-budget-w W] [-budget-mm2 A] [-breakdown] [...]
-//	hetcore bench [-instr N] [-o BENCH_sim_rate.json]
+//	hetcore bench [-instr N] [-o BENCH_sim_rate.json] [-history F]
+//	hetcore hotspots [-device cpu|gpu] [-config C] [-workload W] [-o F]
+//	hetcore trend [-history F] [-window N] [-tol PCT] [-rate-tol PCT]
 //	hetcore diff [-tol PCT] [-rate-tol PCT] old.json new.json
 //	hetcore version
 //
 // "run" executes one experiment; "all" executes the full evaluation in
 // paper order; "soc" searches every CMOS-core/TFET-core/GPU-CU mix that
 // fits an area/power budget and prints the Pareto front (time vs
-// energy); "bench" measures the simulation rate of this host;
+// energy); "bench" measures the simulation rate of this host (and with
+// -history appends the record to a BENCH_history.jsonl trend file);
+// "hotspots" runs one workload under CPU+heap profile plus the in-sim
+// stage-cost sampler and prints where the simulator's own wall-time and
+// allocations go (schema hetcore.prof/v1 with -o/-json);
+// "trend" compares the newest BENCH_history.jsonl entries against the
+// median of their predecessors and exits non-zero on a regression;
 // "diff" compares two -metrics-out reports, two bench records or two
 // hetload BENCH_load.json records and exits non-zero when a metric
 // regressed beyond its threshold;
@@ -39,10 +47,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"hetcore/internal/dist"
 	"hetcore/internal/harness"
@@ -67,6 +77,10 @@ func main() {
 		err = socCmd(os.Args[2:])
 	case "bench":
 		err = bench(os.Args[2:])
+	case "hotspots":
+		err = hotspots(os.Args[2:])
+	case "trend":
+		err = trend(os.Args[2:])
 	case "diff":
 		err = diff(os.Args[2:])
 	case "version":
@@ -93,6 +107,8 @@ Commands:
   all [...]            run every experiment in paper order
   soc [...]            budgeted SoC design-space search (Pareto front)
   bench [...]          measure this host's simulation rate
+  hotspots [...]       profile one workload: stage attribution + top functions
+  trend [...]          gate the newest BENCH_history.jsonl entries on their history
   diff old new         compare two reports/bench/load records, exit 1 on regression
   version              print the cache/wire version stamp
 
@@ -115,6 +131,8 @@ Flags for run/all:
   -serve ADDR          serve the live telemetry dashboard (e.g. :8090)
   -cpuprofile F        write pprof CPU profile
   -memprofile F        write pprof heap profile
+  -stage-prof          sample host wall-time/alloc attribution per simulated
+                       pipeline stage (report manifest, registry and dashboard)
 
 Flags for soc (plus all run/all flags above):
   -budget-w W          SoC power budget in watts (default 20)
@@ -127,6 +145,24 @@ Flags for bench:
   -seed S              workload synthesis seed
   -jobs N              worker-pool width for the full-suite measurement
   -o F                 output file (default BENCH_sim_rate.json)
+  -history F           also append the record to this BENCH_history.jsonl
+
+Flags for hotspots:
+  -device cpu|gpu      simulator to profile (default cpu)
+  -config C            architecture configuration (default BaseCMOS)
+  -workload W          CPU workload / GPU kernel (default barnes / MatrixMultiplication)
+  -instr N             CPU instruction budget (default 2000000)
+  -seed S              workload synthesis seed
+  -top N               table depth (default 10)
+  -o F                 write the hetcore.prof/v1 report JSON here
+  -json                print the report JSON to stdout instead of the table
+
+Flags for trend:
+  -history F           history file (default BENCH_history.jsonl)
+  -window N            compare against the median of the last N prior entries (0 = all)
+  -tol PCT             tolerance for deterministic metrics, percent (default 0.1)
+  -rate-tol PCT        tolerance for host-timing metrics, percent (default 25)
+  -q                   only print regressions and the verdict
 
 Flags for diff:
   -tol PCT             tolerance for deterministic metrics, percent (default 0.1)
@@ -317,6 +353,7 @@ func bench(args []string) error {
 	instr := fs.Uint64("instr", 0, "CPU instruction budget (0 = 2000000)")
 	seed := fs.Uint64("seed", 1, "workload synthesis seed")
 	out := fs.String("o", "BENCH_sim_rate.json", "output file")
+	history := fs.String("history", "", "also append the record to this BENCH_history.jsonl")
 	var jobs int
 	harness.AddJobsFlag(fs, &jobs)
 	if err := fs.Parse(args); err != nil {
@@ -337,11 +374,112 @@ func bench(args []string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	if *history != "" {
+		entry := harness.NewBenchHistoryEntry(rec, time.Now().Unix())
+		if err := harness.AppendHistory(*history, entry); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("cpu  %12.0f insts/s  (%s, %d insts in %.2fs)\n",
 		rec.CPUInstsPerSec, rec.CPUWorkload, rec.CPUInstructions, rec.CPUWallSeconds)
 	fmt.Printf("gpu  %12.0f wave-insts/s  (%s, %d insts in %.2fs)\n",
 		rec.GPUWaveInstsPerSec, rec.GPUKernel, rec.GPUWaveInsts, rec.GPUWallSeconds)
 	fmt.Printf("wrote %s\n", *out)
+	if *history != "" {
+		fmt.Printf("appended to %s\n", *history)
+	}
+	return nil
+}
+
+// hotspots profiles one workload run: CPU + heap pprof plus the in-sim
+// stage-cost sampler, reported as a table or hetcore.prof/v1 JSON.
+func hotspots(args []string) error {
+	fs := flag.NewFlagSet("hotspots", flag.ExitOnError)
+	device := fs.String("device", "cpu", "simulator to profile: cpu or gpu")
+	config := fs.String("config", "BaseCMOS", "architecture configuration")
+	workload := fs.String("workload", "", "CPU workload / GPU kernel (default barnes / MatrixMultiplication)")
+	instr := fs.Uint64("instr", 0, "CPU instruction budget (0 = 2000000)")
+	seed := fs.Uint64("seed", 1, "workload synthesis seed")
+	top := fs.Int("top", 10, "function-table depth")
+	out := fs.String("o", "", "write the hetcore.prof/v1 report JSON here")
+	js := fs.Bool("json", false, "print the report JSON to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := harness.RunHotspots(harness.HotspotsOptions{
+		Device: *device, Config: *config, Workload: *workload,
+		Instructions: *instr, Seed: *seed, TopN: *top,
+	})
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *js {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Print(rep.Format())
+	if *out != "" {
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	return nil
+}
+
+// trend gates the newest history entries against the median of their
+// predecessors.
+func trend(args []string) error {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	history := fs.String("history", "BENCH_history.jsonl", "history file (JSONL)")
+	window := fs.Int("window", 0, "median window: last N prior entries per kind (0 = all)")
+	tol := fs.Float64("tol", 0.1, "tolerance for deterministic metrics, percent")
+	rateTol := fs.Float64("rate-tol", 25, "tolerance for host-timing metrics, percent")
+	quiet := fs.Bool("q", false, "only print regressions and the verdict")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entries, err := harness.LoadHistory(*history)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("trend: %s has no entries", *history)
+	}
+	res := harness.Trend(entries, *window, harness.DiffOptions{
+		RelTol:  *tol / 100,
+		RateTol: *rateTol / 100,
+	})
+	if *quiet {
+		for _, k := range res.Kinds {
+			for _, row := range k.Diff.Regressions() {
+				fmt.Printf("%s %s: %s -> %s (%.2f%%) REGRESSED\n",
+					k.Kind, row.Metric, harness.FormatMetric(row.Old),
+					harness.FormatMetric(row.New), row.DeltaPct)
+			}
+		}
+	} else if err := res.Format(os.Stdout); err != nil {
+		return err
+	}
+	if res.Regressed() {
+		return fmt.Errorf("trend regression in %s", *history)
+	}
+	if *quiet {
+		fmt.Println("-- trend OK")
+	}
 	return nil
 }
 

@@ -17,11 +17,15 @@
 //	-seed N            request-stream seed (default 1)
 //	-timeout D         per-request timeout (default 30s)
 //	-o FILE            write the BENCH_load.json record (default none)
+//	-history FILE      append the record to this BENCH_history.jsonl
 //
 // A human summary goes to stdout; -o writes the machine-readable
 // LoadRecord, which `hetcore diff` compares direction-aware against a
 // baseline (throughput higher-better, latency quantiles and error rate
 // lower-better). scripts/ci.sh uses exactly that pair as its load gate.
+// -history feeds the `hetcore trend` gate instead: each run appends one
+// JSONL entry and trend compares the newest against the median of its
+// predecessors.
 //
 // Hot keys are warmed through the daemon before the window starts, so
 // the cached stream measures the serving path, not cold-start noise;
@@ -37,6 +41,7 @@ import (
 	"time"
 
 	"hetcore/internal/dist"
+	"hetcore/internal/harness"
 )
 
 func main() {
@@ -51,6 +56,7 @@ func main() {
 	seed := fs.Int64("seed", 1, "request-stream seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	out := fs.String("o", "", "write the BENCH_load.json record to this file")
+	history := fs.String("history", "", "append the record to this BENCH_history.jsonl")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -91,6 +97,13 @@ func main() {
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hetload:", err)
+			os.Exit(1)
+		}
+	}
+	if *history != "" {
+		entry := harness.NewLoadHistoryEntry(rec, time.Now().Unix())
+		if err := harness.AppendHistory(*history, entry); err != nil {
 			fmt.Fprintln(os.Stderr, "hetload:", err)
 			os.Exit(1)
 		}

@@ -11,14 +11,19 @@
 // client — are served from disk without simulating. Every request is
 // instrumented (per-endpoint latency histograms, per-status error
 // counters, queue-depth/in-flight gauges, a bounded request log) and
-// summarised on GET /v1/stats; job responses carry the server-side
+// summarised on GET /v1/stats, which also reports a runtime block
+// (heap bytes, GC cycles, p99 GC pause, goroutines) so a fleet
+// operator can spot memory or scheduler pressure without attaching a
+// profiler; job responses carry the server-side
 // queue/cache/execute/encode timing breakdown plus the client's trace
 // context, which `-remote -trace-out` clients merge into per-worker
 // Perfetto tracks. The observability endpoints of the live dashboard
-// (/metrics.json, /metrics, /series, /events and the HTML index) are
-// mounted on the same listener, so an operator can watch a fleet
-// worker with a browser while it serves. cmd/hetload drives synthetic
-// load at a daemon and gates its latency quantiles.
+// (/metrics.json, /metrics, /series, /events, the HTML index and the
+// net/http/pprof handlers under /debug/pprof/) are mounted on the same
+// listener, so an operator can watch a fleet worker with a browser —
+// or grab a labelled CPU profile from it under load — while it serves.
+// cmd/hetload drives synthetic load at a daemon and gates its latency
+// quantiles.
 //
 // Clients (hetcore, hetsweep, hetrace) point -remote at one or more
 // daemons; the stamp in every response lets a client reject workers

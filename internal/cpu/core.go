@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"hetcore/internal/prof"
 	"hetcore/internal/trace"
 )
 
@@ -269,6 +270,16 @@ type Core struct {
 	sampleEvery uint64
 	nextSample  uint64
 
+	// Host-cost stage profiling (internal/prof): on cycles that cross a
+	// multiple of profEvery, lap is set to profLap for the duration of
+	// the cycle and the stage boundaries in step() attribute wall-time
+	// and heap-alloc deltas to it. profNext is MaxUint64 when disarmed,
+	// so the hot path pays one compare plus nil checks on lap.
+	profLap   *prof.Lap
+	lap       *prof.Lap
+	profEvery uint64
+	profNext  uint64
+
 	stats Stats
 }
 
@@ -298,6 +309,7 @@ func NewCore(cfg Config, mem MemPort, src InstSource) (*Core, error) {
 		fpRegBudget:  max(8, cfg.FPRegs-archRegs),
 		lastLine:     ^uint64(0),
 		nextSample:   ^uint64(0),
+		profNext:     ^uint64(0),
 	}
 	c.iq = make([]int, 0, cfg.IQSize)
 	laSize := cfg.SteerWindow
@@ -345,6 +357,21 @@ func (c *Core) SetSampler(intervalCycles uint64, fn func(Stats)) {
 	c.nextSample = (c.stats.Cycles/intervalCycles + 1) * intervalCycles
 }
 
+// SetStageProf arms host-cost stage profiling: every time the cycle
+// count crosses a multiple of intervalCycles, that cycle's stage
+// boundaries are timed into lap (which folds into its shared
+// prof.Collector). intervalCycles 0 or a nil lap disarms profiling; a
+// disarmed core pays one integer compare per cycle.
+func (c *Core) SetStageProf(intervalCycles uint64, lap *prof.Lap) {
+	if intervalCycles == 0 || lap == nil {
+		c.profLap, c.profEvery, c.profNext = nil, 0, ^uint64(0)
+		return
+	}
+	c.profLap = lap
+	c.profEvery = intervalCycles
+	c.profNext = (c.stats.Cycles/intervalCycles + 1) * intervalCycles
+}
+
 // maybeSample fires the telemetry callback if the cycle count crossed
 // the next sampling boundary, then re-arms past the current cycle.
 func (c *Core) maybeSample() {
@@ -368,6 +395,11 @@ func (c *Core) Run(n uint64) Stats {
 // step advances one cycle (possibly fast-forwarding through guaranteed-idle
 // cycles).
 func (c *Core) step() {
+	if c.stats.Cycles >= c.profNext {
+		c.profNext = (c.stats.Cycles/c.profEvery + 1) * c.profEvery
+		c.lap = c.profLap
+		c.lap.Begin()
+	}
 	c.cycle++
 	c.stats.Cycles++
 	c.stats.ROBOccAccum += uint64(c.robCount)
@@ -375,8 +407,17 @@ func (c *Core) step() {
 	c.stats.LSQOccAccum += uint64(c.lsq)
 
 	committed := c.commit()
+	if c.lap != nil {
+		c.lap.Lap(prof.CPUCommit)
+	}
 	issued := c.issue()
+	if c.lap != nil {
+		c.lap.Lap(prof.CPUIssue)
+	}
 	dispatched := c.dispatch()
+	if c.lap != nil {
+		c.lap.Lap(prof.CPURename)
+	}
 
 	if committed > 0 {
 		c.stats.Attr.CommitBound++
@@ -386,6 +427,10 @@ func (c *Core) step() {
 
 	if committed == 0 && issued == 0 && dispatched == 0 {
 		c.fastForward()
+	}
+	if c.lap != nil {
+		c.lap.Lap(prof.CPUExecute)
+		c.lap = nil
 	}
 	c.maybeSample()
 }
@@ -785,6 +830,16 @@ func (c *Core) fillLookahead() {
 	need := c.cfg.SteerWindow + 1
 	if need < 1 {
 		need = 1
+	}
+	if len(c.la) >= need {
+		return
+	}
+	// On profiled cycles the refill (trace decode + branch prediction)
+	// is frontend work: charge the dispatch time so far to rename and
+	// the refill itself to fetch.
+	if l := c.lap; l != nil {
+		l.Lap(prof.CPURename)
+		defer l.Lap(prof.CPUFetch)
 	}
 	for len(c.la) < need {
 		in := c.src.Next()

@@ -1,0 +1,91 @@
+package cpu
+
+import (
+	"testing"
+
+	"hetcore/internal/prof"
+)
+
+// TestStageProfDisarmedAllocatesNothing: with the stage profiler
+// disarmed (the default), stepping the core must not allocate — the
+// sentinel guard is the whole point of the design.
+func TestStageProfDisarmedAllocatesNothing(t *testing.T) {
+	mem := &fakeMem{fetchLat: 2, readLat: 2, writeLat: 2}
+	c := newTestCore(t, DefaultConfig(), mem, &listSource{})
+	c.Run(2000) // warm the lookahead and window
+	allocs := testing.AllocsPerRun(20, func() { c.Run(500) })
+	if allocs != 0 {
+		t.Errorf("disarmed core allocates %v objects per 500-instruction run, want 0", allocs)
+	}
+}
+
+// TestStageProfSharesSumToOne: an armed core attributes wall time to all
+// five pipeline stages, and their shares sum to 1.
+func TestStageProfSharesSumToOne(t *testing.T) {
+	mem := &fakeMem{fetchLat: 2, readLat: 2, writeLat: 2}
+	c := newTestCore(t, DefaultConfig(), mem, &listSource{})
+	col := prof.NewCollector(64)
+	c.SetStageProf(col.Interval(), col.NewLap())
+	c.Run(50_000)
+
+	snap := col.Snapshot()
+	want := map[string]bool{"cpu.fetch": true, "cpu.rename": true,
+		"cpu.issue": true, "cpu.execute": true, "cpu.commit": true}
+	var sum float64
+	for _, sc := range snap.Stages {
+		if !want[sc.Stage] {
+			t.Errorf("unexpected stage %s from a CPU core", sc.Stage)
+		}
+		delete(want, sc.Stage)
+		sum += sc.Share
+		if sc.Samples == 0 {
+			t.Errorf("stage %s has zero samples", sc.Stage)
+		}
+	}
+	for s := range want {
+		t.Errorf("stage %s never sampled", s)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("CPU stage shares sum to %v, want 1 +- 0.01", sum)
+	}
+}
+
+// TestStageProfDoesNotPerturb: arming the profiler must not change any
+// simulated statistic — host cost never feeds back into the model.
+func TestStageProfDoesNotPerturb(t *testing.T) {
+	run := func(armed bool) Stats {
+		mem := &fakeMem{fetchLat: 2, readLat: 2, writeLat: 2}
+		c := newTestCore(t, DefaultConfig(), mem, &listSource{})
+		if armed {
+			col := prof.NewCollector(128)
+			c.SetStageProf(col.Interval(), col.NewLap())
+		}
+		return c.Run(20_000)
+	}
+	a, b := run(false), run(true)
+	if a != b {
+		t.Fatalf("stage profiling changed the simulation:\nwithout: %+v\nwith:    %+v", a, b)
+	}
+}
+
+// TestStageProfDisarm: disarming resets the sentinel so no further
+// samples accumulate.
+func TestStageProfDisarm(t *testing.T) {
+	mem := &fakeMem{fetchLat: 2, readLat: 2, writeLat: 2}
+	c := newTestCore(t, DefaultConfig(), mem, &listSource{})
+	col := prof.NewCollector(64)
+	c.SetStageProf(col.Interval(), col.NewLap())
+	c.Run(5_000)
+	if len(col.Snapshot().Stages) == 0 {
+		t.Fatal("armed profiler collected nothing")
+	}
+	c.SetStageProf(0, nil)
+	before := col.Snapshot()
+	c.Run(5_000)
+	after := col.Snapshot()
+	for i := range after.Stages {
+		if after.Stages[i].Samples != before.Stages[i].Samples {
+			t.Fatalf("stage %s gained samples after disarm", after.Stages[i].Stage)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestStatsRuntimeBlock: GET /v1/stats reports the daemon host's
+// runtime block, so fleet operators see heap/GC/goroutine pressure
+// without attaching a profiler.
+func TestStatsRuntimeBlock(t *testing.T) {
+	d := startDaemon(t, DaemonConfig{Jobs: 1})
+
+	resp, err := http.Get("http://" + d.Addr() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("undecodable stats: %v", err)
+	}
+	if st.Runtime.HeapBytes == 0 {
+		t.Error("runtime.heap_bytes = 0, want a live heap")
+	}
+	if st.Runtime.Goroutines < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", st.Runtime.Goroutines)
+	}
+}
+
+// TestDaemonServesPprof: the daemon mounts the telemetry handler (and
+// with it net/http/pprof) on its serving listener, so a fleet worker
+// can be profiled under load.
+func TestDaemonServesPprof(t *testing.T) {
+	d := startDaemon(t, DaemonConfig{Jobs: 1})
+
+	resp, err := http.Get("http://" + d.Addr() + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine profile") {
+		t.Fatalf("pprof body:\n%.200s", body)
+	}
+}

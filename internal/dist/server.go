@@ -318,6 +318,7 @@ func (d *Daemon) Stats() StatsResponse {
 		ErrorsByStatus: map[string]uint64{},
 		Endpoints:      map[string]EndpointStats{},
 		EventsLogged:   d.o.EventSink().Total(),
+		Runtime:        obs.ReadRuntime(),
 	}
 	reg := d.o.Reg()
 	if reg == nil {

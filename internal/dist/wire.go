@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"hetcore/internal/engine"
+	"hetcore/internal/obs"
 )
 
 // The wire protocol between the Pool client and a hetserved daemon.
@@ -136,4 +137,8 @@ type StatsResponse struct {
 	// EventsLogged is the total number of request-log events recorded
 	// (the bounded ring behind /events).
 	EventsLogged uint64 `json:"events_logged"`
+
+	// Runtime is the daemon's host resource state (heap, GC, goroutines)
+	// sampled at request time.
+	Runtime obs.RuntimeStats `json:"runtime"`
 }

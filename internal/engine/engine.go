@@ -16,11 +16,13 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -368,7 +370,14 @@ func (e *Engine) DoTimed(key Key, fn func() (any, error)) (any, JobTiming, error
 	e.inFlight.Add(1)
 	e.markLane(true)
 	wallStart := time.Now()
-	ent.val, ent.err = fn()
+	// Label the job's goroutine for CPU profiling: a pprof capture (e.g.
+	// hetserved's /debug/pprof/profile) attributes every sample taken
+	// during the run to its device/config/workload.
+	pprof.Do(context.Background(), pprof.Labels(
+		"device", key.Device, "config", key.Config, "workload", key.Workload),
+		func(context.Context) {
+			ent.val, ent.err = fn()
+		})
 	wallDur := time.Since(wallStart)
 	tm.Source, tm.ExecMS = "run", ms(wallDur)
 	e.markLane(false)

@@ -1,0 +1,60 @@
+package gpu
+
+import (
+	"testing"
+
+	"hetcore/internal/prof"
+)
+
+// TestStageProfSharesSumToOne: an armed device attributes wall time to
+// the three GPU phases and their shares sum to 1.
+func TestStageProfSharesSumToOne(t *testing.T) {
+	d, err := NewDevice(DefaultConfig(), smallKernel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := prof.NewCollector(32)
+	d.SetStageProf(col.Interval(), col.NewLap())
+	d.Run()
+
+	snap := col.Snapshot()
+	if len(snap.Stages) == 0 {
+		t.Fatal("armed GPU profiler collected nothing")
+	}
+	want := map[string]bool{"gpu.fetch": true, "gpu.issue": true, "gpu.mem": true}
+	var sum float64
+	for _, sc := range snap.Stages {
+		if !want[sc.Stage] {
+			t.Errorf("unexpected stage %s from a GPU device", sc.Stage)
+		}
+		sum += sc.Share
+	}
+	// gpu.issue always laps on sampled cycles; fetch and mem only when
+	// the cycle does that work, so require at least issue plus one more.
+	if len(snap.Stages) < 2 {
+		t.Errorf("only %d GPU stages sampled, want >= 2: %+v", len(snap.Stages), snap.Stages)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("GPU stage shares sum to %v, want 1 +- 0.01", sum)
+	}
+}
+
+// TestStageProfDoesNotPerturb: arming the profiler must not change the
+// simulated statistics.
+func TestStageProfDoesNotPerturb(t *testing.T) {
+	run := func(armed bool) Stats {
+		d, err := NewDevice(DefaultConfig(), smallKernel(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if armed {
+			col := prof.NewCollector(64)
+			d.SetStageProf(col.Interval(), col.NewLap())
+		}
+		return d.Run()
+	}
+	a, b := run(false), run(true)
+	if a != b {
+		t.Fatalf("stage profiling changed the simulation:\nwithout: %+v\nwith:    %+v", a, b)
+	}
+}

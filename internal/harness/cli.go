@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"hetcore/internal/engine"
 	"hetcore/internal/obs"
+	"hetcore/internal/prof"
 )
 
 // SimFlags are the simulation-budget flags every CLI shares.
@@ -89,6 +91,7 @@ type ObsFlags struct {
 	Serve      string
 	CPUProfile string
 	MemProfile string
+	StageProf  bool
 }
 
 // AddObsFlags registers the shared observability flags on fs.
@@ -100,11 +103,13 @@ func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
 	fs.StringVar(&f.Serve, "serve", "", "serve the live telemetry dashboard on this addr (e.g. :8090)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile here")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile here")
+	fs.BoolVar(&f.StageProf, "stage-prof", false, "sample host wall-time/alloc attribution per simulated pipeline stage")
 	return &f
 }
 
 func (f *ObsFlags) enabled() bool {
-	return f.MetricsOut != "" || f.TraceOut != "" || f.Progress || f.Serve != ""
+	return f.MetricsOut != "" || f.TraceOut != "" || f.Progress || f.Serve != "" ||
+		f.StageProf
 }
 
 // ObsSession is one CLI invocation's observability state: the Observer to
@@ -124,7 +129,23 @@ type ObsSession struct {
 	command []string
 	start   time.Time
 	cpuProf *os.File
+	cpuOnce sync.Once
 	server  *obs.Server
+}
+
+// stopCPUProfile stops the running CPU profile and closes its file
+// exactly once, no matter how many exit paths reach it (Start's
+// server-error unwind and Close both do). Later calls are no-ops.
+func (s *ObsSession) stopCPUProfile() error {
+	if s.cpuProf == nil {
+		return nil
+	}
+	var err error
+	s.cpuOnce.Do(func() {
+		pprof.StopCPUProfile()
+		err = s.cpuProf.Close()
+	})
+	return err
 }
 
 // Start opens the observability session described by the flags: it builds
@@ -149,6 +170,9 @@ func (f *ObsFlags) Start(command []string) (*ObsSession, error) {
 			Metrics: obs.NewRegistry(),
 			Records: &obs.RecordSink{},
 		}
+		if f.StageProf {
+			o.Prof = prof.NewCollector(0)
+		}
 		if f.TraceOut != "" {
 			o.Trace = obs.NewTraceWriter()
 			o.Trace.ProcessName(0, "harness")
@@ -169,10 +193,7 @@ func (f *ObsFlags) Start(command []string) (*ObsSession, error) {
 			o.Events = obs.NewEventLog(0)
 			srv, err := obs.StartServer(f.Serve, o)
 			if err != nil {
-				if s.cpuProf != nil {
-					pprof.StopCPUProfile()
-					s.cpuProf.Close()
-				}
+				s.stopCPUProfile() //nolint:errcheck // unwinding on the server error
 				return nil, err
 			}
 			s.server = srv
@@ -198,11 +219,8 @@ func (s *ObsSession) Close() error {
 		return nil
 	}
 	s.Obs.Prog().Finish()
-	if s.cpuProf != nil {
-		pprof.StopCPUProfile()
-		if err := s.cpuProf.Close(); err != nil {
-			return err
-		}
+	if err := s.stopCPUProfile(); err != nil {
+		return err
 	}
 	if s.flags.MemProfile != "" {
 		fh, err := os.Create(s.flags.MemProfile)
@@ -264,6 +282,16 @@ func (s *ObsSession) Report() obs.Report {
 	}
 	if wall > 0 {
 		m.SimRateKIPS = float64(insts) / wall / 1e3
+	}
+	if ps := s.Obs.StageProf().Snapshot(); len(ps.Stages) > 0 {
+		m.StageProfile = ps.Stages
+		if reg := s.Obs.Reg(); reg != nil {
+			for _, sc := range ps.Stages {
+				reg.Gauge("prof." + sc.Stage + ".wall_ns").Set(float64(sc.WallNS))
+				reg.Gauge("prof." + sc.Stage + ".alloc_bytes").Set(float64(sc.AllocBytes))
+				reg.Gauge("prof." + sc.Stage + ".share").Set(sc.Share)
+			}
+		}
 	}
 	var snap obs.Snapshot
 	if reg := s.Obs.Reg(); reg != nil {

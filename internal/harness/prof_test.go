@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetcore/internal/obs"
+	"hetcore/internal/prof"
+)
+
+// TestCPUProfileLifecycle: -cpuprofile produces a valid pprof proto and
+// Close is safe to call more than once (the stop must fire exactly
+// once; a double StopCPUProfile/Close used to be possible through the
+// Start error path).
+func TestCPUProfileLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	f := ObsFlags{CPUProfile: path}
+	s, err := f.Start([]string{"test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spinWork()
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prof.ParseProfile(raw)
+	if err != nil {
+		t.Fatalf("written -cpuprofile is not a valid pprof proto: %v", err)
+	}
+	if p.ValueIndex("cpu") < 0 {
+		t.Fatalf("profile sample types = %+v, want a cpu dimension", p.SampleTypes)
+	}
+}
+
+// TestCPUProfileStoppedOnServerError: when -serve fails after profiling
+// started, Start must unwind the CPU profile — proven by the next
+// profiled session starting cleanly (StartCPUProfile errors while a
+// profile is active).
+func TestCPUProfileStoppedOnServerError(t *testing.T) {
+	dir := t.TempDir()
+	f := ObsFlags{
+		CPUProfile: filepath.Join(dir, "cpu1.pprof"),
+		Serve:      "definitely-not-an-addr:-1",
+	}
+	if _, err := f.Start([]string{"test"}); err == nil {
+		t.Fatal("Start with an unbindable -serve addr succeeded")
+	}
+
+	f2 := ObsFlags{CPUProfile: filepath.Join(dir, "cpu2.pprof")}
+	s, err := f2.Start([]string{"test"})
+	if err != nil {
+		t.Fatalf("profiling still active after the failed Start: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// spinWork burns a little CPU so the profiler has samples to take.
+func spinWork() {
+	var acc uint64
+	for i := 0; i < 50_000_000; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	_ = acc
+}
+
+// TestStageProfFlagWiresCollector: -stage-prof arms the observer and the
+// report manifest carries the stage attribution plus prof.* gauges.
+func TestStageProfFlagWiresCollector(t *testing.T) {
+	f := ObsFlags{StageProf: true}
+	s, err := f.Start([]string{"test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Obs == nil || s.Obs.StageProf() == nil {
+		t.Fatal("-stage-prof did not arm a collector on the observer")
+	}
+
+	opts := smallOpts(s.Obs)
+	opts.Instructions = 40_000
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunExperiment(e, opts); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if len(rep.Manifest.StageProfile) == 0 {
+		t.Fatal("report manifest has no stage profile after an armed run")
+	}
+	var sum float64
+	for _, sc := range rep.Manifest.StageProfile {
+		if !strings.HasPrefix(sc.Stage, "cpu.") {
+			t.Errorf("unexpected stage %s from a CPU-only experiment", sc.Stage)
+		}
+		sum += sc.Share
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("stage shares sum to %v, want 1 +- 0.01", sum)
+	}
+	for _, sc := range rep.Manifest.StageProfile {
+		for _, suffix := range []string{".wall_ns", ".alloc_bytes", ".share"} {
+			name := "prof." + sc.Stage + suffix
+			if _, ok := rep.Metrics.Gauges[name]; !ok {
+				t.Errorf("gauge %s missing from the metrics snapshot", name)
+			}
+		}
+	}
+}
+
+// TestStageProfJobsDeterminism: the canonical run records must be
+// byte-identical between -jobs=1 and -jobs=8 with profiling armed —
+// host-cost attribution never leaks into simulation results.
+func TestStageProfJobsDeterminism(t *testing.T) {
+	run := func(jobs int) []byte {
+		t.Helper()
+		o := &obs.Observer{
+			Metrics: obs.NewRegistry(),
+			Records: &obs.RecordSink{},
+			Prof:    prof.NewCollector(256),
+		}
+		opts := smallOpts(o)
+		opts.Instructions = 40_000
+		opts.Jobs = jobs
+		e, err := ByID("fig7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunExperiment(e, opts); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := json.Marshal(obs.CanonicalRecords(o.Records.Records()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	one, eight := run(1), run(8)
+	if !bytes.Equal(one, eight) {
+		t.Errorf("canonical records differ between jobs=1 and jobs=8 with profiling on:\n--- jobs=1 ---\n%.2000s\n--- jobs=8 ---\n%.2000s", one, eight)
+	}
+}
+
+// TestRunHotspotsCPU: the hotspots report is schema-stamped, attributes
+// all five CPU stages with shares summing to 1, and carries non-empty
+// top tables parsed from real profiles.
+func TestRunHotspotsCPU(t *testing.T) {
+	rep, err := RunHotspots(HotspotsOptions{Instructions: 150_000, TopN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != prof.SchemaVersion {
+		t.Errorf("schema = %q, want %q", rep.Schema, prof.SchemaVersion)
+	}
+	if rep.Device != "cpu" || rep.Workload != "barnes" || rep.Config != "BaseCMOS" {
+		t.Errorf("defaults = %s/%s/%s", rep.Device, rep.Config, rep.Workload)
+	}
+	if rep.Instructions == 0 || rep.WallSeconds <= 0 {
+		t.Errorf("instructions/wall = %d/%v, want > 0", rep.Instructions, rep.WallSeconds)
+	}
+	if len(rep.StageAttribution) != 5 {
+		t.Fatalf("%d stages attributed, want 5: %+v", len(rep.StageAttribution), rep.StageAttribution)
+	}
+	var sum float64
+	for _, sc := range rep.StageAttribution {
+		sum += sc.Share
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("stage shares sum to %v, want 1 +- 0.01", sum)
+	}
+	if len(rep.HeapTop) == 0 {
+		t.Error("empty heap top table")
+	}
+	if len(rep.CPUTop) == 0 {
+		t.Log("empty CPU top table (profiler starved; tolerated)")
+	}
+	if len(rep.CPUTop) > 5 || len(rep.HeapTop) > 5 {
+		t.Errorf("top tables exceed TopN: cpu=%d heap=%d", len(rep.CPUTop), len(rep.HeapTop))
+	}
+
+	out := rep.Format()
+	for _, want := range []string{"cpu.fetch", "cpu.execute", "share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+}
+
+// TestRunHotspotsGPU: the GPU path attributes the gpu.* phases.
+func TestRunHotspotsGPU(t *testing.T) {
+	rep, err := RunHotspots(HotspotsOptions{Device: "gpu", Workload: "Reduction"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instructions == 0 {
+		t.Error("no wave instructions simulated")
+	}
+	if len(rep.StageAttribution) < 2 {
+		t.Fatalf("%d GPU stages attributed, want >= 2: %+v", len(rep.StageAttribution), rep.StageAttribution)
+	}
+	var sum float64
+	for _, sc := range rep.StageAttribution {
+		if !strings.HasPrefix(sc.Stage, "gpu.") {
+			t.Errorf("unexpected stage %s from a GPU run", sc.Stage)
+		}
+		sum += sc.Share
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("GPU stage shares sum to %v, want 1 +- 0.01", sum)
+	}
+}
+
+func TestRunHotspotsBadInput(t *testing.T) {
+	if _, err := RunHotspots(HotspotsOptions{Device: "tpu"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := RunHotspots(HotspotsOptions{Workload: "no-such-workload",
+		Instructions: 1000}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package hetsim
+
+import (
+	"hetcore/internal/cpu"
+	"hetcore/internal/gpu"
+	"hetcore/internal/obs"
+)
+
+// This file wires the simulators' host-cost stage-profiling hooks
+// (internal/prof) to the observer's shared collector: every
+// Collector.Interval() simulated cycles a core (or the GPU device)
+// times that cycle's stage boundaries and folds the wall-time and
+// heap-alloc deltas into the process-wide attribution. With no
+// collector attached the hooks stay disarmed and cost the hot loop one
+// compare per cycle.
+
+// attachCPUStageProf arms stage profiling on every core, each with its
+// own lap instrument (cores run chunked on one goroutine per job, but
+// separate jobs run concurrently — laps are per-core, only the fold is
+// shared). The returned func detaches (safe when never armed).
+func attachCPUStageProf(o *obs.Observer, cores []*cpu.Core) func() {
+	c := o.StageProf()
+	if c == nil {
+		return func() {}
+	}
+	for _, core := range cores {
+		core.SetStageProf(c.Interval(), c.NewLap())
+	}
+	return func() {
+		for _, core := range cores {
+			core.SetStageProf(0, nil)
+		}
+	}
+}
+
+// attachGPUStageProf arms stage profiling on the device clock.
+func attachGPUStageProf(o *obs.Observer, dev *gpu.Device) {
+	c := o.StageProf()
+	if c == nil {
+		return
+	}
+	dev.SetStageProf(c.Interval(), c.NewLap())
+}

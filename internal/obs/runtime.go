@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeStats is a point-in-time view of the Go runtime's host
+// resource state, read via runtime/metrics: live heap bytes, completed
+// GC cycles, the p99 of all GC stop-the-world pauses so far, and the
+// live goroutine count. It is embedded into hetserved's /v1/stats and
+// the dashboard's /metrics.json status so the fleet exposes host
+// resource signals next to the simulation metrics.
+type RuntimeStats struct {
+	HeapBytes    uint64  `json:"heap_bytes"`
+	GCCycles     uint64  `json:"gc_cycles"`
+	GCPauseP99MS float64 `json:"gc_pause_p99_ms"`
+	Goroutines   int64   `json:"goroutines"`
+}
+
+// The runtime/metrics names ReadRuntime samples.
+const (
+	heapBytesMetric  = "/memory/classes/heap/objects:bytes"
+	gcCyclesMetric   = "/gc/cycles/total:gc-cycles"
+	gcPausesMetric   = "/sched/pauses/total/gc:seconds"
+	goroutinesMetric = "/sched/goroutines:goroutines"
+)
+
+// ReadRuntime samples the runtime metrics. All reads are cheap (no
+// stop-the-world); unknown or kind-changed metrics simply leave their
+// field zero, so the call is safe across Go releases.
+func ReadRuntime() RuntimeStats {
+	samples := []metrics.Sample{
+		{Name: heapBytesMetric},
+		{Name: gcCyclesMetric},
+		{Name: gcPausesMetric},
+		{Name: goroutinesMetric},
+	}
+	metrics.Read(samples)
+	var rs RuntimeStats
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		rs.HeapBytes = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		rs.GCCycles = samples[1].Value.Uint64()
+	}
+	if samples[2].Value.Kind() == metrics.KindFloat64Histogram {
+		rs.GCPauseP99MS = histQuantile(samples[2].Value.Float64Histogram(), 0.99) * 1e3
+	}
+	if samples[3].Value.Kind() == metrics.KindUint64 {
+		rs.Goroutines = int64(samples[3].Value.Uint64())
+	}
+	return rs
+}
+
+// histQuantile approximates quantile q of a runtime Float64Histogram by
+// cumulative-count scan, returning the upper bound of the bucket where
+// the quantile falls (0 for an empty histogram). Infinite bounds fall
+// back to the nearest finite edge.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c == 0 || cum <= target {
+			continue
+		}
+		// Bucket i spans Buckets[i] .. Buckets[i+1].
+		hi := i + 1
+		if hi >= len(h.Buckets) {
+			hi = len(h.Buckets) - 1
+		}
+		b := h.Buckets[hi]
+		if math.IsInf(b, 0) {
+			b = h.Buckets[i] // +Inf bucket: report the finite lower edge
+		}
+		if math.IsInf(b, 0) {
+			return 0
+		}
+		return b
+	}
+	return 0
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+)
+
+// TestReadRuntimeSanity: after a forced GC the runtime stats must be
+// live — a heap, at least one completed cycle, and this goroutine.
+func TestReadRuntimeSanity(t *testing.T) {
+	runtime.GC()
+	rs := ReadRuntime()
+	if rs.HeapBytes == 0 {
+		t.Error("HeapBytes = 0, want a live heap")
+	}
+	if rs.GCCycles == 0 {
+		t.Error("GCCycles = 0 after runtime.GC()")
+	}
+	if rs.Goroutines < 1 {
+		t.Errorf("Goroutines = %d, want >= 1", rs.Goroutines)
+	}
+	if rs.GCPauseP99MS < 0 {
+		t.Errorf("GCPauseP99MS = %v, want >= 0", rs.GCPauseP99MS)
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	if got := histQuantile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	empty := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}
+	if got := histQuantile(empty, 0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// All mass in one bucket: every quantile is that bucket's upper bound.
+	one := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 0},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := histQuantile(one, q); got != 2 {
+			t.Errorf("q=%v of single-bucket histogram = %v, want 2", q, got)
+		}
+	}
+	// Mass split 90/10: p50 falls in the first bucket, p99 in the last.
+	split := &metrics.Float64Histogram{
+		Counts:  []uint64{90, 10},
+		Buckets: []float64{0, 1, 2},
+	}
+	if got := histQuantile(split, 0.5); got != 1 {
+		t.Errorf("p50 of 90/10 histogram = %v, want 1", got)
+	}
+	if got := histQuantile(split, 0.99); got != 2 {
+		t.Errorf("p99 of 90/10 histogram = %v, want 2", got)
+	}
+	// +Inf upper bound falls back to the finite lower edge, as the
+	// runtime's pause histograms end in an infinite bucket.
+	inf := &metrics.Float64Histogram{
+		Counts:  []uint64{1},
+		Buckets: []float64{5, math.Inf(1)},
+	}
+	if got := histQuantile(inf, 0.99); got != 5 {
+		t.Errorf("quantile in +Inf bucket = %v, want finite lower edge 5", got)
+	}
+}

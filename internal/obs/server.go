@@ -8,9 +8,12 @@ import (
 	"math"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sort"
 	"strings"
 	"time"
+
+	"hetcore/internal/prof"
 )
 
 // The embedded dashboard: a single self-contained page (inline CSS/JS,
@@ -29,6 +32,7 @@ var dashboardHTML []byte
 //	/metrics       Prometheus text exposition
 //	/series        time-series snapshot (JSON)
 //	/events        event log (JSON)
+//	/debug/pprof/  net/http/pprof profiling endpoints
 //
 // All handlers read point-in-time snapshots under the instruments' own
 // locks, so serving never blocks the simulation for more than a copy.
@@ -44,8 +48,13 @@ type ServerStatus struct {
 	Schema        string         `json:"schema"`
 	Phase         string         `json:"phase"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
+	Runtime       RuntimeStats   `json:"runtime"`
 	Progress      ProgressStatus `json:"progress"`
 	Metrics       Snapshot       `json:"metrics"`
+
+	// StageProfile is the sampled host-cost stage attribution so far
+	// (present only when an internal/prof collector is armed).
+	StageProfile []prof.StageCost `json:"stage_profile,omitempty"`
 }
 
 // StartServer listens on addr (host:port; host may be empty, port may be
@@ -71,6 +80,15 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetricsProm)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/events", s.handleEvents)
+	// Live profiling: the engine labels every job with pprof.Do, so a
+	// /debug/pprof/profile capture attributes CPU samples per
+	// device/config/workload — on the -serve dashboard and on hetserved
+	// (which mounts this handler at /).
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return mux
 }
 
@@ -130,9 +148,11 @@ func (s *Server) Status() ServerStatus {
 		Schema:        SchemaVersion,
 		Phase:         s.obs.Phase(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Runtime:       ReadRuntime(),
 		Progress:      s.obs.Prog().Status(),
 	}
 	st.Metrics = s.obs.Reg().Snapshot()
+	st.StageProfile = s.obs.StageProf().Snapshot().Stages
 	return st
 }
 

@@ -1,0 +1,505 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a minimal decoder for the pprof profile.proto wire
+// format (github.com/google/pprof/proto/profile.proto), hand-rolled over
+// the protobuf wire encoding so the repository stays dependency-free. It
+// decodes exactly what the hotspots report and the profile-validity
+// tests need: sample types, samples (location stacks, values, labels),
+// the location->line->function graph and the string table.
+
+// ValueType is one sample dimension ("cpu"/"nanoseconds",
+// "alloc_space"/"bytes", ...).
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// ProfileSample is one stack sample: the leaf location comes first.
+type ProfileSample struct {
+	LocationIDs []uint64
+	Values      []int64
+	// Labels are the sample's string labels (pprof.Do goroutine labels
+	// land here: workload=..., device=..., config=...).
+	Labels map[string]string
+}
+
+// Profile is a decoded pprof proto.
+type Profile struct {
+	SampleTypes []ValueType
+	Samples     []ProfileSample
+
+	// funcName maps location id -> leaf-most function name.
+	funcName map[uint64]string
+}
+
+// ParseProfile decodes a pprof proto, gunzipping first when the payload
+// carries the gzip magic (runtime/pprof always compresses).
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if closeErr := zr.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+	return parseProfileProto(data)
+}
+
+// ValueIndex returns the index of the sample-value dimension with the
+// given type name ("cpu", "alloc_space", ...), or -1.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalValue sums one value dimension over all samples. A negative
+// index (ValueIndex miss) sums nothing.
+func (p *Profile) TotalValue(valueIdx int) int64 {
+	if valueIdx < 0 {
+		return 0
+	}
+	var t int64
+	for _, s := range p.Samples {
+		if valueIdx < len(s.Values) {
+			t += s.Values[valueIdx]
+		}
+	}
+	return t
+}
+
+// LabelValues sums one value dimension per value of the given sample
+// label key (e.g. "workload"), covering only samples that carry the
+// label.
+func (p *Profile) LabelValues(key string, valueIdx int) map[string]int64 {
+	out := map[string]int64{}
+	if valueIdx < 0 {
+		return out
+	}
+	for _, s := range p.Samples {
+		v, ok := s.Labels[key]
+		if !ok || valueIdx >= len(s.Values) {
+			continue
+		}
+		out[v] += s.Values[valueIdx]
+	}
+	return out
+}
+
+// FuncCost is one function's flat cost in a top-N report.
+type FuncCost struct {
+	Function string  `json:"function"`
+	Flat     int64   `json:"flat"`
+	Share    float64 `json:"share"`
+}
+
+// TopFunctions returns the n largest flat costs by leaf function for one
+// value dimension, descending (ties break by name for determinism).
+// Flat cost follows the pprof convention: a sample's whole value is
+// charged to its leaf location's function.
+func (p *Profile) TopFunctions(valueIdx, n int) []FuncCost {
+	if valueIdx < 0 {
+		return nil
+	}
+	flat := map[string]int64{}
+	var total int64
+	for _, s := range p.Samples {
+		if valueIdx >= len(s.Values) || len(s.LocationIDs) == 0 {
+			continue
+		}
+		v := s.Values[valueIdx]
+		if v == 0 {
+			continue
+		}
+		name := p.funcName[s.LocationIDs[0]]
+		if name == "" {
+			name = fmt.Sprintf("loc#%d", s.LocationIDs[0])
+		}
+		flat[name] += v
+		total += v
+	}
+	out := make([]FuncCost, 0, len(flat))
+	for name, v := range flat {
+		fc := FuncCost{Function: name, Flat: v}
+		if total > 0 {
+			fc.Share = float64(v) / float64(total)
+		}
+		out = append(out, fc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Function < out[j].Function
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// --- protobuf wire decoding ---
+
+// wireReader walks one protobuf message body.
+type wireReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *wireReader) done() bool { return r.pos >= len(r.buf) }
+
+// varint decodes one base-128 varint.
+func (r *wireReader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("prof: truncated varint")
+		}
+		b := r.buf[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("prof: varint overflow")
+		}
+	}
+}
+
+// field reads the next field tag and returns (number, wireType).
+func (r *wireReader) field() (int, int, error) {
+	tag, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// skip consumes one field of the given wire type.
+func (r *wireReader) skip(wt int) error {
+	switch wt {
+	case 0: // varint
+		_, err := r.varint()
+		return err
+	case 1: // fixed64
+		r.pos += 8
+	case 2: // length-delimited
+		n, err := r.varint()
+		if err != nil {
+			return err
+		}
+		r.pos += int(n)
+	case 5: // fixed32
+		r.pos += 4
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wt)
+	}
+	if r.pos > len(r.buf) {
+		return fmt.Errorf("prof: truncated field")
+	}
+	return nil
+}
+
+// bytesField reads one length-delimited payload.
+func (r *wireReader) bytesField() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	end := r.pos + int(n)
+	if end > len(r.buf) || end < r.pos {
+		return nil, fmt.Errorf("prof: truncated bytes field")
+	}
+	b := r.buf[r.pos:end]
+	r.pos = end
+	return b, nil
+}
+
+// uints reads a repeated uint64 field: either one packed payload (wire
+// type 2) or a single varint occurrence (wire type 0).
+func (r *wireReader) uints(wt int, into []uint64) ([]uint64, error) {
+	if wt == 0 {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	body, err := r.bytesField()
+	if err != nil {
+		return nil, err
+	}
+	pr := wireReader{buf: body}
+	for !pr.done() {
+		v, err := pr.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+// profile.proto field numbers used below.
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+	sampleLabel      = 3
+
+	labelKey = 1
+	labelStr = 2
+
+	locID   = 1
+	locLine = 4
+
+	lineFunctionID = 1
+
+	funcID   = 1
+	funcName = 2
+)
+
+func parseProfileProto(data []byte) (*Profile, error) {
+	p := &Profile{funcName: map[uint64]string{}}
+	var strtab []string
+	type rawVT struct{ typ, unit uint64 }
+	type rawLabel struct{ key, str uint64 }
+	type rawSample struct {
+		locs   []uint64
+		vals   []uint64
+		labels []rawLabel
+	}
+	var vts []rawVT
+	var samples []rawSample
+	locFunc := map[uint64]uint64{}   // location id -> leaf function id
+	funcNames := map[uint64]uint64{} // function id -> name string index
+
+	r := wireReader{buf: data}
+	for !r.done() {
+		num, wt, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case profStringTable:
+			b, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(b))
+		case profSampleType:
+			b, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var vt rawVT
+			mr := wireReader{buf: b}
+			for !mr.done() {
+				n, w, err := mr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case vtType:
+					vt.typ, err = mr.varint()
+				case vtUnit:
+					vt.unit, err = mr.varint()
+				default:
+					err = mr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			vts = append(vts, vt)
+		case profSample:
+			b, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var s rawSample
+			mr := wireReader{buf: b}
+			for !mr.done() {
+				n, w, err := mr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case sampleLocationID:
+					s.locs, err = mr.uints(w, s.locs)
+				case sampleValue:
+					s.vals, err = mr.uints(w, s.vals)
+				case sampleLabel:
+					var lb []byte
+					lb, err = mr.bytesField()
+					if err == nil {
+						var l rawLabel
+						lr := wireReader{buf: lb}
+						for !lr.done() {
+							ln, lw, lerr := lr.field()
+							if lerr != nil {
+								return nil, lerr
+							}
+							switch ln {
+							case labelKey:
+								l.key, lerr = lr.varint()
+							case labelStr:
+								l.str, lerr = lr.varint()
+							default:
+								lerr = lr.skip(lw)
+							}
+							if lerr != nil {
+								return nil, lerr
+							}
+						}
+						s.labels = append(s.labels, l)
+					}
+				default:
+					err = mr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			samples = append(samples, s)
+		case profLocation:
+			b, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var id, fn uint64
+			haveLine := false
+			mr := wireReader{buf: b}
+			for !mr.done() {
+				n, w, err := mr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case locID:
+					id, err = mr.varint()
+				case locLine:
+					var lb []byte
+					lb, err = mr.bytesField()
+					if err == nil && !haveLine {
+						// Line[0] is the leaf-most (inlined) frame.
+						lr := wireReader{buf: lb}
+						for !lr.done() {
+							ln, lw, lerr := lr.field()
+							if lerr != nil {
+								return nil, lerr
+							}
+							if ln == lineFunctionID {
+								fn, lerr = lr.varint()
+								haveLine = true
+							} else {
+								lerr = lr.skip(lw)
+							}
+							if lerr != nil {
+								return nil, lerr
+							}
+						}
+					}
+				default:
+					err = mr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			if haveLine {
+				locFunc[id] = fn
+			}
+		case profFunction:
+			b, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var id, name uint64
+			mr := wireReader{buf: b}
+			for !mr.done() {
+				n, w, err := mr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case funcID:
+					id, err = mr.varint()
+				case funcName:
+					name, err = mr.varint()
+				default:
+					err = mr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			funcNames[id] = name
+		default:
+			if err := r.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if int(i) < len(strtab) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, vt := range vts {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	for loc, fn := range locFunc {
+		p.funcName[loc] = str(funcNames[fn])
+	}
+	for _, rs := range samples {
+		s := ProfileSample{LocationIDs: rs.locs}
+		for _, v := range rs.vals {
+			s.Values = append(s.Values, int64(v))
+		}
+		if len(rs.labels) > 0 {
+			s.Labels = make(map[string]string, len(rs.labels))
+			for _, l := range rs.labels {
+				if l.str != 0 {
+					s.Labels[str(l.key)] = str(l.str)
+				}
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, fmt.Errorf("prof: no sample types: not a pprof profile")
+	}
+	return p, nil
+}

@@ -1,0 +1,168 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// spin burns CPU in a named function so CPU profiles taken during the
+// test have a recognisable leaf to find.
+//
+//go:noinline
+func spin(d time.Duration) uint64 {
+	var acc uint64
+	for start := time.Now(); time.Since(start) < d; {
+		for i := 0; i < 1_000; i++ {
+			acc = acc*6364136223846793005 + 1442695040888963407
+		}
+	}
+	return acc
+}
+
+// collectCPUProfile runs fn under the runtime CPU profiler and returns
+// the raw proto bytes.
+func collectCPUProfile(t *testing.T, fn func()) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatalf("starting CPU profile: %v", err)
+	}
+	fn()
+	pprof.StopCPUProfile()
+	return buf.Bytes()
+}
+
+// TestParseCPUProfile: a real profile from the Go runtime round-trips
+// through the stdlib-only proto parser — sample types are present, the
+// cpu value index resolves, and the busy function shows up in the flat
+// top table.
+func TestParseCPUProfile(t *testing.T) {
+	raw := collectCPUProfile(t, func() { spin(300 * time.Millisecond) })
+	p, err := ParseProfile(raw)
+	if err != nil {
+		t.Fatalf("parsing CPU profile: %v", err)
+	}
+	if len(p.SampleTypes) == 0 {
+		t.Fatal("profile has no sample types")
+	}
+	idx := p.ValueIndex("cpu")
+	if idx < 0 {
+		t.Fatalf("no cpu sample type in %+v", p.SampleTypes)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("runtime CPU profiler returned no samples (starved CI host)")
+	}
+	if total := p.TotalValue(idx); total <= 0 {
+		t.Fatalf("total cpu value = %d, want > 0", total)
+	}
+	top := p.TopFunctions(idx, 10)
+	if len(top) == 0 {
+		t.Fatal("empty top-function table from a populated profile")
+	}
+	var shares float64
+	found := false
+	for _, fc := range top {
+		shares += fc.Share
+		if fc.Flat <= 0 {
+			t.Errorf("function %s flat = %d, want > 0", fc.Function, fc.Flat)
+		}
+		if containsSpin(fc.Function) {
+			found = true
+		}
+	}
+	if shares > 1.0001 {
+		t.Errorf("top-function shares sum to %v, want <= 1", shares)
+	}
+	if !found {
+		t.Logf("spin not in top 10 (flaky on loaded hosts): %+v", top)
+	}
+}
+
+func containsSpin(name string) bool {
+	return bytes.Contains([]byte(name), []byte("spin"))
+}
+
+// TestParseCPUProfileLabels: samples taken inside pprof.Do carry the
+// label, and LabelValues aggregates their values — the mechanism the
+// engine uses to tag every simulation job with device/config/workload.
+func TestParseCPUProfileLabels(t *testing.T) {
+	raw := collectCPUProfile(t, func() {
+		pprof.Do(context.Background(), pprof.Labels("workload", "spin-test"), func(context.Context) {
+			spin(300 * time.Millisecond)
+		})
+	})
+	p, err := ParseProfile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.ValueIndex("cpu")
+	if idx < 0 {
+		t.Fatal("no cpu sample type")
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("runtime CPU profiler returned no samples (starved CI host)")
+	}
+	byLabel := p.LabelValues("workload", idx)
+	if byLabel["spin-test"] <= 0 {
+		t.Fatalf("no cpu time attributed to workload=spin-test: %+v", byLabel)
+	}
+}
+
+// TestParseHeapProfile: the heap profile's alloc_space value index
+// resolves and allocating code appears with positive flat bytes.
+func TestParseHeapProfile(t *testing.T) {
+	sink := make([][]byte, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	runtime.KeepAlive(sink)
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parsing heap profile: %v", err)
+	}
+	idx := p.ValueIndex("alloc_space")
+	if idx < 0 {
+		t.Fatalf("no alloc_space sample type in %+v", p.SampleTypes)
+	}
+	if p.TotalValue(idx) <= 0 {
+		t.Fatal("heap profile attributes zero allocated bytes")
+	}
+	if top := p.TopFunctions(idx, 5); len(top) == 0 {
+		t.Fatal("empty top table from heap profile")
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("not a profile"),
+		{0x1f, 0x8b, 0xff, 0xff}, // gzip magic, corrupt stream
+	} {
+		if _, err := ParseProfile(raw); err == nil {
+			t.Errorf("ParseProfile(%q) accepted garbage", raw)
+		}
+	}
+}
+
+func TestValueIndexMissing(t *testing.T) {
+	raw := collectCPUProfile(t, func() { spin(20 * time.Millisecond) })
+	p, err := ParseProfile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx := p.ValueIndex("no-such-type"); idx != -1 {
+		t.Errorf("ValueIndex(no-such-type) = %d, want -1", idx)
+	}
+	if got := p.TopFunctions(-1, 10); got != nil {
+		t.Errorf("TopFunctions(-1) = %+v, want nil", got)
+	}
+}

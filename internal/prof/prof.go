@@ -1,0 +1,232 @@
+// Package prof is the host-cost performance-observability layer: it
+// attributes the simulator's own wall-time and heap allocations to the
+// simulated pipeline stages, parses pprof protos, and carries the
+// hetcore.prof/v1 hotspots report schema.
+//
+// The stage profiler is sampling-based and sentinel-guarded exactly like
+// the telemetry samplers: a disarmed core pays one integer compare per
+// cycle and a handful of predictable nil checks, and allocates nothing.
+// On cycles that cross the sampling interval, the cycle's stage
+// boundaries are timed with a monotonic clock and a cumulative
+// heap-allocation counter (runtime/metrics), and the deltas accumulate
+// into a process-wide Collector. Stage shares are computed per device
+// group (CPU stages against total CPU nanoseconds, GPU against GPU), so
+// each group's shares sum to 1.
+//
+// Host-cost numbers never feed back into simulation state, so arming
+// the profiler cannot change any deterministic output. Allocation
+// attribution reads the global heap-alloc counter: it is exact for
+// -jobs=1 and approximate when parallel jobs allocate concurrently.
+package prof
+
+import (
+	"runtime/metrics"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultInterval is the stage-profiling sampling period in simulated
+// cycles. Finer than the telemetry period (16384): a stage lap costs two
+// clock reads and a runtime/metrics read, so 4096 keeps the overhead
+// amortised while giving small CI runs enough samples for stable shares.
+const DefaultInterval = 4096
+
+// Stage identifies one simulated pipeline stage for host-cost
+// attribution. CPU stages follow the core's step order (the dispatch
+// phase splits into fetch — trace refill and branch prediction — and
+// rename — window insertion and steering); the GPU phases split one
+// device cycle into frontend decode, scheduler/issue and memory access.
+type Stage uint8
+
+const (
+	CPUFetch Stage = iota
+	CPURename
+	CPUIssue
+	CPUExecute
+	CPUCommit
+	GPUFetch
+	GPUIssue
+	GPUMem
+	NumStages
+)
+
+// stageNames are the canonical record keys, "<device>.<stage>".
+var stageNames = [NumStages]string{
+	CPUFetch:   "cpu.fetch",
+	CPURename:  "cpu.rename",
+	CPUIssue:   "cpu.issue",
+	CPUExecute: "cpu.execute",
+	CPUCommit:  "cpu.commit",
+	GPUFetch:   "gpu.fetch",
+	GPUIssue:   "gpu.issue",
+	GPUMem:     "gpu.mem",
+}
+
+// String returns the canonical "<device>.<stage>" name.
+func (s Stage) String() string {
+	if s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Device returns the device group ("cpu" or "gpu") the stage belongs to.
+func (s Stage) Device() string {
+	if s >= GPUFetch {
+		return "gpu"
+	}
+	return "cpu"
+}
+
+// StageCost is one stage's accumulated host cost in a snapshot or
+// report: sampled wall nanoseconds, heap bytes allocated during the
+// sampled laps, the number of laps, and the stage's share of its device
+// group's total sampled nanoseconds (shares within a group sum to 1).
+type StageCost struct {
+	Stage      string  `json:"stage"`
+	WallNS     int64   `json:"wall_ns"`
+	AllocBytes int64   `json:"alloc_bytes"`
+	Samples    int64   `json:"samples"`
+	Share      float64 `json:"share"`
+}
+
+// Snapshot is a point-in-time view of a Collector.
+type Snapshot struct {
+	IntervalCycles uint64      `json:"interval_cycles"`
+	Stages         []StageCost `json:"stages,omitempty"`
+}
+
+// Collector aggregates sampled stage costs process-wide. Every core and
+// device gets its own Lap (the per-goroutine measuring instrument); laps
+// fold their deltas into the shared collector with atomics, so parallel
+// jobs accumulate into one attribution.
+type Collector struct {
+	interval uint64
+	ns       [NumStages]atomic.Int64
+	bytes    [NumStages]atomic.Int64
+	samples  [NumStages]atomic.Int64
+}
+
+// NewCollector builds a collector sampling every intervalCycles
+// simulated cycles (0 = DefaultInterval).
+func NewCollector(intervalCycles uint64) *Collector {
+	if intervalCycles == 0 {
+		intervalCycles = DefaultInterval
+	}
+	return &Collector{interval: intervalCycles}
+}
+
+// Interval returns the sampling period in simulated cycles, or 0 when
+// the collector is nil (profiling then stays disarmed).
+func (c *Collector) Interval() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.interval
+}
+
+// add folds one lap delta into the shared totals.
+func (c *Collector) add(s Stage, ns, bytes int64) {
+	c.ns[s].Add(ns)
+	c.bytes[s].Add(bytes)
+	c.samples[s].Add(1)
+}
+
+// Snapshot returns the accumulated per-stage costs with per-device-group
+// shares. Stages that were never sampled are omitted. Nil-safe: a nil
+// collector snapshots empty.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{IntervalCycles: c.interval}
+	var groupNS [2]int64 // cpu, gpu
+	for s := Stage(0); s < NumStages; s++ {
+		if c.samples[s].Load() == 0 {
+			continue
+		}
+		g := 0
+		if s.Device() == "gpu" {
+			g = 1
+		}
+		groupNS[g] += c.ns[s].Load()
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		n := c.samples[s].Load()
+		if n == 0 {
+			continue
+		}
+		sc := StageCost{
+			Stage:      s.String(),
+			WallNS:     c.ns[s].Load(),
+			AllocBytes: c.bytes[s].Load(),
+			Samples:    n,
+		}
+		g := 0
+		if s.Device() == "gpu" {
+			g = 1
+		}
+		if groupNS[g] > 0 {
+			sc.Share = float64(sc.WallNS) / float64(groupNS[g])
+		}
+		snap.Stages = append(snap.Stages, sc)
+	}
+	return snap
+}
+
+// allocBytesMetric is the cumulative heap-allocation counter the laps
+// delta against (runtime/metrics; cheap to read, no stop-the-world).
+const allocBytesMetric = "/gc/heap/allocs:bytes"
+
+// Lap is the per-core measuring instrument for one sampled cycle. A lap
+// belongs to exactly one core or device (single goroutine at a time);
+// only the fold into the Collector is synchronised. All methods are
+// nil-safe no-ops, so the simulators call them unconditionally on the
+// profiled path.
+type Lap struct {
+	c         *Collector
+	sample    [1]metrics.Sample
+	last      time.Time
+	lastBytes uint64
+}
+
+// NewLap builds a measuring instrument bound to the collector (nil when
+// the collector is nil, which keeps downstream wiring unconditional).
+func (c *Collector) NewLap() *Lap {
+	if c == nil {
+		return nil
+	}
+	l := &Lap{c: c}
+	l.sample[0].Name = allocBytesMetric
+	metrics.Read(l.sample[:]) // warm the metric so laps never allocate
+	return l
+}
+
+// now reads the monotonic clock and the cumulative heap-alloc counter.
+func (l *Lap) now() (time.Time, uint64) {
+	metrics.Read(l.sample[:])
+	var b uint64
+	if l.sample[0].Value.Kind() == metrics.KindUint64 {
+		b = l.sample[0].Value.Uint64()
+	}
+	return time.Now(), b
+}
+
+// Begin marks the start of a profiled cycle.
+func (l *Lap) Begin() {
+	if l == nil {
+		return
+	}
+	l.last, l.lastBytes = l.now()
+}
+
+// Lap attributes the wall time and heap bytes since the previous mark
+// to stage s and re-marks.
+func (l *Lap) Lap(s Stage) {
+	if l == nil {
+		return
+	}
+	t, b := l.now()
+	l.c.add(s, t.Sub(l.last).Nanoseconds(), int64(b-l.lastBytes))
+	l.last, l.lastBytes = t, b
+}

@@ -1,0 +1,176 @@
+package prof
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < NumStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("stage %d has no canonical name", s)
+		}
+		if seen[name] {
+			t.Errorf("stage name %q repeated", name)
+		}
+		seen[name] = true
+		dev := s.Device()
+		if dev != "cpu" && dev != "gpu" {
+			t.Errorf("stage %s device = %q, want cpu or gpu", name, dev)
+		}
+		if got := name[:3]; got != dev {
+			t.Errorf("stage %s belongs to device %q but is named for %q", name, dev, got)
+		}
+	}
+	if NumStages.String() != "unknown" {
+		t.Errorf("out-of-range stage String() = %q, want unknown", NumStages.String())
+	}
+}
+
+// TestSnapshotSharesPerGroup: shares normalise within each device group,
+// so the CPU stages and the GPU stages each sum to 1 independently.
+func TestSnapshotSharesPerGroup(t *testing.T) {
+	c := NewCollector(64)
+	c.add(CPUFetch, 300, 10)
+	c.add(CPUExecute, 700, 20)
+	c.add(GPUIssue, 50, 5)
+	c.add(GPUMem, 150, 0)
+
+	snap := c.Snapshot()
+	if snap.IntervalCycles != 64 {
+		t.Errorf("IntervalCycles = %d, want 64", snap.IntervalCycles)
+	}
+	if len(snap.Stages) != 4 {
+		t.Fatalf("%d stages in snapshot, want 4 (unsampled stages omitted)", len(snap.Stages))
+	}
+	sums := map[string]float64{}
+	for _, sc := range snap.Stages {
+		sums[sc.Stage[:3]] += sc.Share
+		if sc.Share < 0 || sc.Share > 1 {
+			t.Errorf("stage %s share = %v, want within [0, 1]", sc.Stage, sc.Share)
+		}
+		if sc.Samples != 1 {
+			t.Errorf("stage %s samples = %d, want 1", sc.Stage, sc.Samples)
+		}
+	}
+	for dev, sum := range sums {
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s shares sum to %v, want 1", dev, sum)
+		}
+	}
+	// Spot-check one exact share: CPU execute took 700 of 1000 CPU ns.
+	for _, sc := range snap.Stages {
+		if sc.Stage == "cpu.execute" && sc.Share != 0.7 {
+			t.Errorf("cpu.execute share = %v, want 0.7", sc.Share)
+		}
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	if got := c.Interval(); got != 0 {
+		t.Errorf("nil collector Interval() = %d, want 0", got)
+	}
+	if snap := c.Snapshot(); len(snap.Stages) != 0 {
+		t.Errorf("nil collector snapshot has %d stages, want 0", len(snap.Stages))
+	}
+	l := c.NewLap()
+	if l != nil {
+		t.Fatal("nil collector built a non-nil lap")
+	}
+	// Nil laps must absorb the full call sequence.
+	l.Begin()
+	l.Lap(CPUFetch)
+}
+
+// TestLapAttributesTime: a real lap sequence lands wall time and sample
+// counts on exactly the stages that were lapped.
+func TestLapAttributesTime(t *testing.T) {
+	c := NewCollector(0)
+	if c.Interval() != DefaultInterval {
+		t.Errorf("Interval() = %d, want DefaultInterval %d", c.Interval(), DefaultInterval)
+	}
+	l := c.NewLap()
+	for i := 0; i < 10; i++ {
+		l.Begin()
+		l.Lap(CPUFetch)
+		l.Lap(CPUCommit)
+	}
+	snap := c.Snapshot()
+	if len(snap.Stages) != 2 {
+		t.Fatalf("%d stages sampled, want 2: %+v", len(snap.Stages), snap.Stages)
+	}
+	for _, sc := range snap.Stages {
+		if sc.Stage != "cpu.fetch" && sc.Stage != "cpu.commit" {
+			t.Errorf("unexpected stage %s in snapshot", sc.Stage)
+		}
+		if sc.Samples != 10 {
+			t.Errorf("stage %s samples = %d, want 10", sc.Stage, sc.Samples)
+		}
+		if sc.WallNS < 0 {
+			t.Errorf("stage %s wall ns = %d, want >= 0", sc.Stage, sc.WallNS)
+		}
+	}
+}
+
+// TestCollectorConcurrentLaps: many laps folding into one collector from
+// parallel goroutines (the -jobs worker-pool shape) must not lose
+// samples. Run under -race this also proves the fold is synchronised.
+func TestCollectorConcurrentLaps(t *testing.T) {
+	c := NewCollector(0)
+	const workers, lapsEach = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := c.NewLap()
+			s := Stage(w % int(NumStages))
+			for i := 0; i < lapsEach; i++ {
+				l.Begin()
+				l.Lap(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, sc := range c.Snapshot().Stages {
+		total += sc.Samples
+	}
+	if total != workers*lapsEach {
+		t.Errorf("collector recorded %d samples, want %d", total, workers*lapsEach)
+	}
+}
+
+// TestLapDoesNotAllocate: the per-sample measuring path must stay
+// allocation-free, or arming the profiler would distort the very heap
+// attribution it reports.
+func TestLapDoesNotAllocate(t *testing.T) {
+	c := NewCollector(0)
+	l := c.NewLap()
+	allocs := testing.AllocsPerRun(200, func() {
+		l.Begin()
+		l.Lap(CPUIssue)
+	})
+	if allocs != 0 {
+		t.Errorf("Begin+Lap allocates %v objects per sample, want 0", allocs)
+	}
+}
+
+func TestSnapshotJSONStageOrder(t *testing.T) {
+	c := NewCollector(0)
+	c.add(GPUMem, 1, 0)
+	c.add(CPUFetch, 1, 0)
+	snap := c.Snapshot()
+	// Stages come out in pipeline order regardless of add order.
+	want := []string{"cpu.fetch", "gpu.mem"}
+	for i, sc := range snap.Stages {
+		if sc.Stage != want[i] {
+			t.Fatalf("stage[%d] = %s, want %s (%+v)", i, sc.Stage, want[i], snap.Stages)
+		}
+	}
+	_ = fmt.Sprintf("%+v", snap) // snapshot is plain data, printable
+}

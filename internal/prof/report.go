@@ -1,0 +1,68 @@
+package prof
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchemaVersion identifies the hotspots report format.
+const SchemaVersion = "hetcore.prof/v1"
+
+// Report is the `hetcore hotspots` output: one workload run under CPU
+// and heap profile, with host cost attributed three ways — by simulated
+// pipeline stage (the in-sim sampler), by hottest function (CPU
+// profile), and by allocation site (heap profile).
+type Report struct {
+	Schema       string  `json:"schema"`
+	GoVersion    string  `json:"go_version"`
+	Device       string  `json:"device"`
+	Config       string  `json:"config"`
+	Workload     string  `json:"workload"`
+	Instructions uint64  `json:"instructions"`
+	WallSeconds  float64 `json:"wall_seconds"`
+
+	// StageAttribution is the in-sim sampler's view (shares sum to 1
+	// per device group).
+	StageAttribution []StageCost `json:"stage_attribution"`
+
+	// CPUTop and HeapTop are flat top-N function costs from the pprof
+	// protos: CPU nanoseconds and alloc_space bytes respectively.
+	CPUTop  []FuncCost `json:"cpu_top,omitempty"`
+	HeapTop []FuncCost `json:"heap_top,omitempty"`
+}
+
+// Format renders the report as a human-readable table set.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hotspots: %s %s %s (%d instructions, %.3fs)\n",
+		r.Device, r.Config, r.Workload, r.Instructions, r.WallSeconds)
+
+	if len(r.StageAttribution) > 0 {
+		b.WriteString("\nStage attribution (sampled host cost per simulated stage)\n")
+		fmt.Fprintf(&b, "  %-12s %10s %8s %12s %9s\n",
+			"stage", "wall_ms", "share", "alloc_bytes", "samples")
+		for _, s := range r.StageAttribution {
+			fmt.Fprintf(&b, "  %-12s %10.2f %7.1f%% %12d %9d\n",
+				s.Stage, float64(s.WallNS)/1e6, s.Share*100, s.AllocBytes, s.Samples)
+		}
+	}
+
+	writeTop := func(title, unit string, top []FuncCost, scale float64) {
+		if len(top) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n%s\n", title)
+		fmt.Fprintf(&b, "  %-56s %12s %8s\n", "function", unit, "share")
+		for _, f := range top {
+			name := f.Function
+			if len(name) > 56 {
+				name = "..." + name[len(name)-53:]
+			}
+			fmt.Fprintf(&b, "  %-56s %12.2f %7.1f%%\n",
+				name, float64(f.Flat)/scale, f.Share*100)
+		}
+	}
+	writeTop("Top functions by CPU time (pprof flat)", "cpu_ms", r.CPUTop, 1e6)
+	writeTop("Top functions by allocation (pprof alloc_space)", "alloc_kb", r.HeapTop, 1024)
+	return b.String()
+}

@@ -56,8 +56,26 @@ echo "== regression gate (hetcore diff) =="
 # timing, so only a >75% slowdown fails — catching pathological
 # regressions without flaking on machine-to-machine variance.
 go build -o "$tmp/hetcore" ./cmd/hetcore
-"$tmp/hetcore" bench -instr 300000 -o "$tmp/BENCH_sim_rate.json" >/dev/null
+# Seed the trend history from the committed baseline so the bench
+# measurement below also lands a history entry for the trend gate.
+cp scripts/baseline/BENCH_history.jsonl "$tmp/BENCH_history.jsonl"
+"$tmp/hetcore" bench -instr 300000 -o "$tmp/BENCH_sim_rate.json" \
+    -history "$tmp/BENCH_history.jsonl" >/dev/null
 "$tmp/hetcore" diff -rate-tol 75 scripts/baseline/BENCH_sim_rate.json "$tmp/BENCH_sim_rate.json"
+
+echo "== hotspots gate (hetcore hotspots) =="
+# A tiny workload under the stage profiler and pprof must yield a
+# schema-stamped report with a populated stage attribution. The share
+# arithmetic (sums to 1 per device group) is pinned by go tests; this
+# gate proves the end-to-end CLI path on a real profile.
+"$tmp/hetcore" hotspots -instr 150000 -json -o "$tmp/hotspots.json" >/dev/null
+for want in '"schema": "hetcore.prof/v1"' '"stage_attribution"' '"stage": "cpu.execute"'; do
+    if ! grep -q "$want" "$tmp/hotspots.json"; then
+        echo "hotspots report missing $want:" >&2
+        cat "$tmp/hotspots.json" >&2
+        exit 1
+    fi
+done
 
 echo "== dist gate (persistent cache + hetserved) =="
 # End-to-end check of internal/dist: run the same experiment twice
@@ -146,10 +164,18 @@ echo "== load gate (hetload p99 vs baseline) =="
 # host speed.
 go build -o "$tmp/hetload" ./cmd/hetload
 "$tmp/hetload" -addr "$addr" -duration 2s -concurrency 4 -cold 0.2 \
-    -o "$tmp/BENCH_load.json" >/dev/null
+    -o "$tmp/BENCH_load.json" -history "$tmp/BENCH_history.jsonl" >/dev/null
 "$tmp/hetcore" diff -rate-tol 400 scripts/baseline/BENCH_load.json "$tmp/BENCH_load.json"
 
 kill "$served_pid" 2>/dev/null
 served_pid=""
+
+echo "== trend gate (hetcore trend) =="
+# The history now holds the committed baseline entries plus this run's
+# bench and load measurements; the newest entry of each kind must not
+# regress against the median of its predecessors. Deterministic counts
+# stay exact; host-timing rates share the load gate's loose 400%
+# tolerance so the gate proves the trend pipeline without host flake.
+"$tmp/hetcore" trend -history "$tmp/BENCH_history.jsonl" -rate-tol 400
 
 echo "CI OK"
