@@ -6,7 +6,7 @@
 //	hetcore list
 //	hetcore run -exp fig7 [-instr N] [-seed S] [-workloads a,b] [-kernels X,Y] [-csv]
 //	hetcore all [-instr N] [-seed S] [-csv]
-//	hetcore soc [-budget-w W] [-budget-mm2 A] [-breakdown] [...]
+//	hetcore soc [-budget-w W] [-budget-mm2 A] [-breakdown] [-accel] [...]
 //	hetcore bench [-instr N] [-o BENCH_sim_rate.json] [-history F]
 //	hetcore hotspots [-device cpu|gpu] [-config C] [-workload W] [-o F]
 //	hetcore trend [-history F] [-window N] [-tol PCT] [-rate-tol PCT]
@@ -14,9 +14,11 @@
 //	hetcore version
 //
 // "run" executes one experiment; "all" executes the full evaluation in
-// paper order; "soc" searches every CMOS-core/TFET-core/GPU-CU mix that
-// fits an area/power budget and prints the Pareto front (time vs
-// energy); "bench" measures the simulation rate of this host (and with
+// paper order; "soc" searches every CMOS-core/TFET-core/GPU-CU/
+// accelerator mix that fits an area/power budget and prints the Pareto
+// front (time vs energy; -accel adds the class-best comparison of
+// cores vs GPU vs CMOS/TFET accelerators); "bench" measures the
+// simulation rate of this host (and with
 // -history appends the record to a BENCH_history.jsonl trend file);
 // "hotspots" runs one workload under CPU+heap profile plus the in-sim
 // stage-cost sampler and prints where the simulator's own wall-time and
@@ -139,6 +141,8 @@ Flags for soc (plus all run/all flags above):
   -budget-mm2 A        SoC area budget in mm^2 (default 50)
   -breakdown           also print the per-workload time/energy breakdown
                        of every Pareto-front mix
+  -accel               also print the class-best comparison (cores-only vs
+                       GPU-only vs CMOS/TFET accelerator mixes, by ED²)
 
 Flags for bench:
   -instr N             CPU instruction budget (default 2000000)
@@ -295,6 +299,7 @@ func socCmd(args []string) error {
 	budgetW := fs.Float64("budget-w", 0, "power budget in watts (0 = default 20)")
 	budgetMM2 := fs.Float64("budget-mm2", 0, "area budget in mm^2 (0 = default 50)")
 	breakdown := fs.Bool("breakdown", false, "also print the per-workload breakdown of Pareto mixes")
+	accel := fs.Bool("accel", false, "also print the class-best comparison (cores vs GPU vs accelerators)")
 	sim := harness.AddSimFlags(fs)
 	ob := harness.AddObsFlags(fs)
 	csv := fs.Bool("csv", false, "emit CSV")
@@ -342,6 +347,19 @@ func socCmd(args []string) error {
 			fmt.Println()
 		}
 		if err := emit(bt, *csv, *js); err != nil {
+			return err
+		}
+	}
+	if *accel {
+		sess.Experiments = append(sess.Experiments, "socaccel")
+		at, err := harness.SoCAccelCompare(opts, budget)
+		if err != nil {
+			return err
+		}
+		if !*csv && !*js {
+			fmt.Println()
+		}
+		if err := emit(at, *csv, *js); err != nil {
 			return err
 		}
 	}

@@ -35,6 +35,11 @@ func (f Footprint) Add(g Footprint) Footprint {
 //     a quarter-ish of a core's area, and the AdvHet GPU's roughly
 //     half-of-CMOS power at equal throughput (Section VII-B) lands one
 //     CU at 0.45 W peak.
+//   - One fixed-function accelerator unit (ASAcc-style, after Chung et
+//     al. MICRO'10) is a 1 mm² ASIC tile: datapath plus local buffers,
+//     no instruction machinery. A CMOS build peaks at 0.3 W; a TFET
+//     build occupies the same area (the same one-for-one swap as the
+//     cores) at the evaluation's quarter dynamic power.
 //   - The shared uncore (ring, memory controllers, I/O) is a fixed
 //     charge against every configuration.
 var (
@@ -45,6 +50,21 @@ var (
 	TFETCoreFootprint = Footprint{AreaMM2: 4.0, PeakW: 0.5}
 	// GPUCUFootprint is one AdvHet GPU compute unit.
 	GPUCUFootprint = Footprint{AreaMM2: 1.75, PeakW: 0.45}
+	// CMOSAccelFootprint is one Si-CMOS fixed-function accelerator unit.
+	CMOSAccelFootprint = Footprint{AreaMM2: 1.0, PeakW: 0.3}
+	// TFETAccelFootprint is one all-TFET accelerator unit: CMOS-equal
+	// area, quarter peak power (the same Section III-F / V-B factors the
+	// cores use).
+	TFETAccelFootprint = Footprint{AreaMM2: 1.0, PeakW: 0.075}
 	// UncoreFootprint is the fixed shared-uncore charge per SoC.
 	UncoreFootprint = Footprint{AreaMM2: 2.0, PeakW: 0.5}
 )
+
+// AccelFootprint returns one accelerator unit's footprint for the given
+// build technology.
+func AccelFootprint(tfet bool) Footprint {
+	if tfet {
+		return TFETAccelFootprint
+	}
+	return CMOSAccelFootprint
+}

@@ -26,9 +26,23 @@ func TestFootprintCalibrations(t *testing.T) {
 		t.Errorf("TFET core peak %v W should be below CMOS %v W",
 			TFETCoreFootprint.PeakW, CMOSCoreFootprint.PeakW)
 	}
-	for _, f := range []Footprint{CMOSCoreFootprint, TFETCoreFootprint, GPUCUFootprint, UncoreFootprint} {
+	for _, f := range []Footprint{CMOSCoreFootprint, TFETCoreFootprint, GPUCUFootprint,
+		CMOSAccelFootprint, TFETAccelFootprint, UncoreFootprint} {
 		if f.AreaMM2 <= 0 || f.PeakW <= 0 {
 			t.Errorf("footprint %+v must be positive", f)
 		}
+	}
+	// Accelerator builds follow the same iso-area, lower-peak discipline
+	// as the cores, and AccelFootprint selects between them.
+	if CMOSAccelFootprint.AreaMM2 != TFETAccelFootprint.AreaMM2 {
+		t.Errorf("TFET accel area %v != CMOS accel area %v",
+			TFETAccelFootprint.AreaMM2, CMOSAccelFootprint.AreaMM2)
+	}
+	if TFETAccelFootprint.PeakW >= CMOSAccelFootprint.PeakW {
+		t.Errorf("TFET accel peak %v W should be below CMOS %v W",
+			TFETAccelFootprint.PeakW, CMOSAccelFootprint.PeakW)
+	}
+	if AccelFootprint(false) != CMOSAccelFootprint || AccelFootprint(true) != TFETAccelFootprint {
+		t.Error("AccelFootprint does not select the build footprints")
 	}
 }

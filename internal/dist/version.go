@@ -18,7 +18,11 @@ import (
 // the response carries a server-side timing breakdown.
 // v3: device-runner registry + the SoC layer — resolution goes through
 // hetsim runners and "soc.Result" joins the codec.
-const CacheVersion = 3
+// v4: pluggable SoC component classes — soc.Result gains accelerator
+// fields and dispatch placement, and the config grammar grows the
+// x{c|t}<U> accelerator term, so v3 soc entries no longer decode to
+// the same shape.
+const CacheVersion = 4
 
 var deviceHash = sync.OnceValue(func() string {
 	// Hash the fully-rendered CPU and GPU configuration tables: any

@@ -1,0 +1,51 @@
+package governor
+
+import "fmt"
+
+// Kernel dispatch: alongside the DVFS selector, the governor also decides
+// *where* a workload's offloadable fraction runs. The SoC evaluator
+// prices each eligible target — staying on the cores, the GPU, a
+// matching fixed-function accelerator — as a Candidate (full-chip time
+// and energy for the whole run under that placement) and asks a
+// Dispatcher to pick one. Budget eligibility is decided upstream (a
+// configuration that does not fit the area/power budget is never
+// evaluated), so the dispatcher only ranks.
+
+// Candidate is one possible placement of a workload's offloadable
+// fraction, priced as the whole run's cost under that placement.
+type Candidate struct {
+	// Target names the placement ("cores", "gpu", "accel").
+	Target string
+	// TimeSec is the full-run wall time under this placement.
+	TimeSec float64
+	// EnergyJ is the full-run total energy under this placement.
+	EnergyJ float64
+}
+
+// ED2 is the candidate's energy-delay² product in J·s².
+func (c Candidate) ED2() float64 { return c.EnergyJ * c.TimeSec * c.TimeSec }
+
+// Dispatcher picks one candidate index from a non-empty slice. It must
+// be deterministic in the candidate order: the SoC evaluator's results
+// are memoized byte-for-byte across processes.
+type Dispatcher func(cands []Candidate) (int, error)
+
+// DispatchED2 is the default dispatcher: minimum ED², ties broken
+// toward the earliest candidate (the evaluator lists "cores" first, so
+// offload must strictly win to displace it).
+func DispatchED2(cands []Candidate) (int, error) {
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("governor: dispatch over no candidates")
+	}
+	best := 0
+	for i, c := range cands {
+		if c.TimeSec <= 0 || c.EnergyJ < 0 {
+			return 0, fmt.Errorf("governor: candidate %q has non-physical cost (%.3g s, %.3g J)",
+				c.Target, c.TimeSec, c.EnergyJ)
+		}
+		if c.ED2() < cands[best].ED2() {
+			best = i
+		}
+	}
+	return best, nil
+}

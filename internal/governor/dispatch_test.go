@@ -1,0 +1,51 @@
+package governor
+
+import "testing"
+
+func TestDispatchED2PicksMinimum(t *testing.T) {
+	cands := []Candidate{
+		{Target: "cores", TimeSec: 2.0, EnergyJ: 10}, // ED² = 40
+		{Target: "gpu", TimeSec: 1.0, EnergyJ: 12},   // ED² = 12
+		{Target: "accel", TimeSec: 1.5, EnergyJ: 4},  // ED² = 9
+	}
+	i, err := DispatchED2(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[i].Target != "accel" {
+		t.Errorf("picked %q, want accel", cands[i].Target)
+	}
+}
+
+func TestDispatchED2TieKeepsEarliest(t *testing.T) {
+	cands := []Candidate{
+		{Target: "cores", TimeSec: 1.0, EnergyJ: 8},
+		{Target: "gpu", TimeSec: 2.0, EnergyJ: 2}, // same ED² = 8
+	}
+	i, err := DispatchED2(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 0 {
+		t.Errorf("tie broke to index %d (%q), want the earliest candidate", i, cands[i].Target)
+	}
+}
+
+func TestDispatchED2Errors(t *testing.T) {
+	if _, err := DispatchED2(nil); err == nil {
+		t.Error("expected an error for an empty candidate list")
+	}
+	if _, err := DispatchED2([]Candidate{{Target: "gpu", TimeSec: 0, EnergyJ: 1}}); err == nil {
+		t.Error("expected an error for a zero-time candidate")
+	}
+	if _, err := DispatchED2([]Candidate{{Target: "gpu", TimeSec: 1, EnergyJ: -1}}); err == nil {
+		t.Error("expected an error for negative energy")
+	}
+}
+
+func TestCandidateED2(t *testing.T) {
+	c := Candidate{TimeSec: 3, EnergyJ: 2}
+	if got := c.ED2(); got != 18 {
+		t.Errorf("ED2 = %v, want 18", got)
+	}
+}

@@ -3,6 +3,8 @@ package gpu
 import (
 	"fmt"
 	"sort"
+
+	"hetcore/internal/names"
 )
 
 // Kernel is the statistical profile of one GPU workload, standing in for
@@ -146,12 +148,13 @@ func KernelByName(name string) (Kernel, error) {
 			return k, nil
 		}
 	}
-	names := make([]string, len(kernels))
+	ns := make([]string, len(kernels))
 	for i, k := range kernels {
-		names[i] = k.Name
+		ns[i] = k.Name
 	}
-	sort.Strings(names)
-	return Kernel{}, fmt.Errorf("gpu: unknown kernel %q (have %v)", name, names)
+	sort.Strings(ns)
+	return Kernel{}, fmt.Errorf("gpu: unknown kernel %q (closest match %q; have %v)",
+		name, names.Nearest(name, ns), ns)
 }
 
 // CompilerScheduled returns the kernel as a latency-aware compiler would

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"hetcore/internal/energy"
+	"hetcore/internal/soc"
+)
+
+// AccelCompare characterizes the per-kernel fixed-function accelerators
+// against the AdvHet GPU they are derived from, one row per workload's
+// paired kernel: throughput per mm² relative to a GPU CU, dynamic
+// energy gain per CPU-equivalent instruction for each build, and
+// per-unit leakage. The component measurements run through the engine,
+// so the rows come from the same memoized runs the SoC search uses.
+func AccelCompare(opts Options) (Table, error) {
+	wls, err := socWorkloads(opts)
+	if err != nil {
+		return Table{}, err
+	}
+	comps, err := socComponents(opts, wls, true)
+	if err != nil {
+		return Table{}, err
+	}
+	cuArea := soc.GPUComponent{}.UnitFootprint().AreaMM2
+	rows := make([]Row, 0, len(wls))
+	for _, wl := range wls {
+		c := comps[wl.Name]
+		g, cm, tf := c.GPU, c.AccelCMOS, c.AccelTFET
+		gpuPerMM2 := g.RateIPSPerCU / cuArea
+		accelPerMM2 := cm.RateIPSPerUnit / cm.UnitFootprint().AreaMM2
+		rows = append(rows, Row{Label: wl.Name + "/" + wl.Kernel, Values: []float64{
+			accelPerMM2 / gpuPerMM2,
+			g.DynJPerInstr / cm.DynJPerInstr,
+			g.DynJPerInstr / tf.DynJPerInstr,
+			cm.LeakWPerUnit * 1e3,
+			tf.LeakWPerUnit * 1e3,
+		}})
+	}
+	return Table{
+		ID:    "accel",
+		Title: "Per-kernel accelerators vs AdvHet GPU (per-unit characterization)",
+		Columns: []string{"perf_per_mm2_x", "dyn_gain_cmos_x", "dyn_gain_tfet_x",
+			"leak_cmos_mw", "leak_tfet_mw"},
+		Rows: rows,
+		Notes: "Throughput and energy per CPU-equivalent instruction, relative to the " +
+			"measured AdvHet GPU kernel run each accelerator is derived from.",
+	}, nil
+}
+
+// SoCAccelCompare runs the full design-space search under the budget
+// and reports the ED²-best mix of each component class — cores-only,
+// GPU-only, accelerator builds and combined — answering the question
+// the accelerator tier was added for: which offload engine earns its
+// silicon at this budget?
+func SoCAccelCompare(opts Options, budget energy.Budget) (Table, error) {
+	results, over, err := SearchSoC(opts, budget, soc.DefaultSpace())
+	if err != nil {
+		return Table{}, err
+	}
+	best := map[string]soc.Summary{}
+	for _, s := range soc.Summarize(results) {
+		b, ok := best[s.Config.Class()]
+		if !ok || s.ED2() < b.ED2() {
+			best[s.Config.Class()] = s
+		}
+	}
+	classes := make([]string, 0, len(best))
+	for class := range best {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	rows := make([]Row, len(classes))
+	for i, class := range classes {
+		s := best[class]
+		rows[i] = Row{Label: class + ": " + s.Name, Values: []float64{
+			float64(s.Config.CMOSCores), float64(s.Config.TFETCores), float64(s.Config.GPUCUs),
+			float64(s.Config.AccelUnits),
+			s.AreaMM2, s.PeakW,
+			s.TimeSec * 1e6, s.EnergyJ * 1e6, s.ED2() * 1e18,
+		}}
+	}
+	notes := fmt.Sprintf("Best mix per class by ED² under %s; %d mix(es) rejected over budget.",
+		budget.String(), len(over))
+	if tfet, okT := best["accel-tfet"]; okT {
+		if gpu, okG := best["gpu-only"]; okG {
+			verdict := "does not beat"
+			if tfet.ED2() < gpu.ED2() {
+				verdict = "beats"
+			}
+			notes += fmt.Sprintf(" TFET accelerator mix %s %s the best GPU-only mix %s on ED² (%.2fx).",
+				tfet.Name, verdict, gpu.Name, gpu.ED2()/tfet.ED2())
+		}
+	}
+	return Table{
+		ID:    "socaccel",
+		Title: fmt.Sprintf("SoC class-best comparison under %s", budget.String()),
+		Columns: []string{"cmos", "tfet", "cus", "xunits", "area_mm2", "peak_w",
+			"time_us", "energy_uj", "ed2_ajs2"},
+		Rows:  rows,
+		Notes: notes,
+	}, nil
+}
+
+// Accel and SoCAccel are the registry entries (default budget).
+func Accel(opts Options) (Table, error) {
+	return AccelCompare(opts)
+}
+
+func SoCAccel(opts Options) (Table, error) {
+	return SoCAccelCompare(opts, soc.DefaultBudget())
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hetcore/internal/soc"
+)
+
+func TestAccelCompareShape(t *testing.T) {
+	opts := socTestOptions(t, 4, nil)
+	tb, err := Accel(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("accel table has %d rows for one workload, want 1", len(tb.Rows))
+	}
+	if len(tb.Columns) != 5 {
+		t.Fatalf("accel table has %d columns, want 5: %v", len(tb.Columns), tb.Columns)
+	}
+	row := tb.Rows[0]
+	if !strings.HasPrefix(row.Label, "fft/") {
+		t.Errorf("row label %q should be workload/kernel", row.Label)
+	}
+	perf, gainCMOS, gainTFET := row.Values[0], row.Values[1], row.Values[2]
+	leakCMOS, leakTFET := row.Values[3], row.Values[4]
+	if perf <= 1 {
+		t.Errorf("accelerator perf/mm² ratio %v should beat the GPU's", perf)
+	}
+	if gainCMOS <= 1 || gainTFET <= gainCMOS {
+		t.Errorf("dynamic gains must order GPU < CMOS accel < TFET accel: %v, %v", gainCMOS, gainTFET)
+	}
+	if leakTFET >= leakCMOS {
+		t.Errorf("TFET accel leak %v mW not below CMOS %v mW", leakTFET, leakCMOS)
+	}
+}
+
+// TestTFETAccelBeatsGPUOnly is the ISSUE's acceptance criterion: under
+// the default 20 W / 50 mm² budget there is a TFET-accelerator mix that
+// beats the best GPU-only mix on ED², and the socaccel note says so.
+func TestTFETAccelBeatsGPUOnly(t *testing.T) {
+	opts := socTestOptions(t, 4, nil)
+	results, _, err := SearchSoC(opts, soc.DefaultBudget(), soc.DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := map[string]soc.Summary{}
+	for _, s := range soc.Summarize(results) {
+		b, ok := best[s.Config.Class()]
+		if !ok || s.ED2() < b.ED2() {
+			best[s.Config.Class()] = s
+		}
+	}
+	gpu, ok := best["gpu-only"]
+	if !ok {
+		t.Fatal("no GPU-only mix fits the default budget")
+	}
+	tfet, ok := best["accel-tfet"]
+	if !ok {
+		t.Fatal("no TFET-accelerator mix fits the default budget")
+	}
+	if tfet.ED2() >= gpu.ED2() {
+		t.Errorf("best TFET accel mix %s (ED² %.3e) does not beat best GPU-only %s (ED² %.3e)",
+			tfet.Name, tfet.ED2(), gpu.Name, gpu.ED2())
+	}
+
+	tb, err := SoCAccel(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.Notes, "beats") {
+		t.Errorf("socaccel notes carry no verdict: %q", tb.Notes)
+	}
+	if len(tb.Rows) < 4 {
+		t.Errorf("socaccel table has %d class rows, want at least cores/gpu/accel-cmos/accel-tfet", len(tb.Rows))
+	}
+}
+
+// TestSoCAccelDeterministicAcrossJobs extends the byte-identity contract
+// to the class-best comparison.
+func TestSoCAccelDeterministicAcrossJobs(t *testing.T) {
+	render := func(jobs int) string {
+		opts := socTestOptions(t, jobs, nil)
+		tb, err := SoCAccel(opts)
+		if err != nil {
+			t.Fatalf("socaccel (jobs=%d): %v", jobs, err)
+		}
+		var buf strings.Builder
+		if err := tb.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if serial, parallel := render(1), render(8); serial != parallel {
+		t.Fatalf("socaccel tables differ between -jobs=1 and -jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hetcore/internal/hetsim"
+	"hetcore/internal/names"
 )
 
 // Experiment is one reproducible table or figure of the paper.
@@ -40,6 +41,8 @@ func Experiments() []Experiment {
 		{ID: "migration", Title: "Iso-area CMOS+TFET migration CMP vs AdvHet", PaperRef: "Section VIII", Run: Migration},
 		{ID: "soc", Title: "Budgeted SoC design-space search (Pareto front)", PaperRef: "ROADMAP", Run: SoC},
 		{ID: "socbreak", Title: "SoC per-config time/energy breakdown", PaperRef: "ROADMAP", Run: SoCBreak},
+		{ID: "accel", Title: "Per-kernel accelerators vs AdvHet GPU", PaperRef: "ROADMAP", Run: Accel},
+		{ID: "socaccel", Title: "SoC class-best comparison (cores vs GPU vs accelerators)", PaperRef: "ROADMAP", Run: SoCAccel},
 		{ID: "ablations", Title: "Per-mechanism design ablations", PaperRef: "DESIGN.md", Run: Ablations},
 		{ID: "cycles", Title: "Top-down CPU cycle attribution", PaperRef: "DESIGN.md", Run: CPUCycles},
 		{ID: "gpucycles", Title: "Top-down GPU cycle attribution", PaperRef: "DESIGN.md", Run: GPUCycles},
@@ -85,40 +88,7 @@ func ByID(id string) (Experiment, error) {
 	}
 	sort.Strings(ids)
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (closest match %q; have %v)",
-		id, nearestID(id, ids), ids)
-}
-
-// nearestID returns the candidate with the smallest edit distance to id
-// (ties break toward the lexicographically first candidate).
-func nearestID(id string, candidates []string) string {
-	best, bestDist := "", -1
-	for _, c := range candidates {
-		if d := editDistance(id, c); bestDist < 0 || d < bestDist {
-			best, bestDist = c, d
-		}
-	}
-	return best
-}
-
-// editDistance is the Levenshtein distance between a and b.
-func editDistance(a, b string) int {
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		cur[0] = i
-		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(b)]
+		id, names.Nearest(id, ids), ids)
 }
 
 // TableII reproduces Table II as a descriptive listing (no numeric data in

@@ -52,8 +52,11 @@ func (o Options) socComponentKey(config, workload string) engine.Key {
 }
 
 // socComponents measures the composition components for each workload
-// through the engine and returns them keyed by workload name.
-func socComponents(opts Options, wls []soc.Workload, needGPU bool) (map[string]soc.Components, error) {
+// through the engine and returns them keyed by workload name. One
+// kernel measurement per workload fills the GPU component and both
+// accelerator builds (soc.Components.FillKernel), exactly as the
+// remote runner path does, so both paths stay bit-equal.
+func socComponents(opts Options, wls []soc.Workload, needKernel bool) (map[string]soc.Components, error) {
 	gcfg, err := hetsim.GPUConfigByName(soc.GPUConfig)
 	if err != nil {
 		return nil, err
@@ -81,7 +84,7 @@ func socComponents(opts Options, wls []soc.Workload, needGPU bool) (map[string]s
 				},
 			})
 		}
-		if needGPU {
+		if needKernel {
 			kern, err := gpu.KernelByName(wl.Kernel)
 			if err != nil {
 				return nil, err
@@ -107,12 +110,10 @@ func socComponents(opts Options, wls []soc.Workload, needGPU bool) (map[string]s
 		}
 		c.CMOS, c.TFET = cm, tf
 		i += 2
-		if needGPU {
-			g, err := soc.GPUComponentOf(outs[i].(hetsim.GPUResult))
-			if err != nil {
+		if needKernel {
+			if err := c.FillKernel(outs[i].(hetsim.GPUResult)); err != nil {
 				return nil, err
 			}
-			c.GPU = g
 			i++
 		}
 		comps[wl.Name] = c
@@ -142,14 +143,14 @@ func SearchSoC(opts Options, budget energy.Budget, space []soc.Config) ([]soc.Re
 	if len(in) == 0 {
 		return nil, over, fmt.Errorf("harness: no SoC mix fits %s", budget.String())
 	}
-	needGPU := false
+	needKernel := false
 	for _, cfg := range in {
-		if cfg.GPUCUs > 0 {
-			needGPU = true
+		if cfg.GPUCUs > 0 || cfg.AccelUnits > 0 {
+			needKernel = true
 			break
 		}
 	}
-	comps, err := socComponents(opts, wls, needGPU)
+	comps, err := socComponents(opts, wls, needKernel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -196,6 +197,7 @@ func SoCPareto(opts Options, budget energy.Budget) (Table, error) {
 	for i, s := range front {
 		rows[i] = Row{Label: s.Name, Values: []float64{
 			float64(s.Config.CMOSCores), float64(s.Config.TFETCores), float64(s.Config.GPUCUs),
+			float64(s.Config.AccelUnits),
 			s.AreaMM2, s.PeakW,
 			s.TimeSec * 1e6, s.EnergyJ * 1e6, s.ED2() * 1e18,
 		}}
@@ -208,7 +210,7 @@ func SoCPareto(opts Options, budget energy.Budget) (Table, error) {
 	return Table{
 		ID:    "soc",
 		Title: fmt.Sprintf("SoC design-space search: Pareto front under %s", budget.String()),
-		Columns: []string{"cmos", "tfet", "cus", "area_mm2", "peak_w",
+		Columns: []string{"cmos", "tfet", "cus", "xunits", "area_mm2", "peak_w",
 			"time_us", "energy_uj", "ed2_ajs2"},
 		Rows: rows,
 		Notes: fmt.Sprintf(
@@ -246,7 +248,7 @@ func SoCBreakdown(opts Options, budget energy.Budget) (Table, error) {
 		}
 		rows = append(rows, Row{Label: r.Config + "/" + r.Workload, Values: []float64{
 			r.SerialSec * 1e6, r.ParallelSec * 1e6, r.TimeSec * 1e6,
-			r.CoreDynJ * 1e6, r.GPUDynJ * 1e6, r.LeakJ * 1e6,
+			r.CoreDynJ * 1e6, r.GPUDynJ * 1e6, r.AccelDynJ * 1e6, r.LeakJ * 1e6,
 			r.OffloadFrac,
 		}})
 	}
@@ -254,9 +256,10 @@ func SoCBreakdown(opts Options, budget energy.Budget) (Table, error) {
 		ID:    "socbreak",
 		Title: fmt.Sprintf("SoC per-config breakdown (Pareto front under %s)", budget.String()),
 		Columns: []string{"serial_us", "parallel_us", "time_us",
-			"core_dyn_uj", "gpu_dyn_uj", "leak_uj", "offload"},
-		Rows:  rows,
-		Notes: "One row per (Pareto mix, workload); times and energies per run.",
+			"core_dyn_uj", "gpu_dyn_uj", "accel_dyn_uj", "leak_uj", "offload"},
+		Rows: rows,
+		Notes: "One row per (Pareto mix, workload); times and energies per run. " +
+			"The offload column is the fraction the dispatcher actually moved off the cores.",
 	}, nil
 }
 

@@ -51,8 +51,11 @@ func TestSoCDeterministicAcrossJobs(t *testing.T) {
 		t.Fatalf("soc tables differ between -jobs=1 and -jobs=8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
 			serial, parallel)
 	}
-	if !strings.Contains(serial, "c0t1g0") {
-		t.Fatalf("Pareto table misses the minimal mix:\n%s", serial)
+	// TFET-accelerator mixes dominate the whole front: the accelerator
+	// runs the offloadable half at far lower dynamic energy than any
+	// core or GPU, so every front mix should carry an xt term.
+	if !strings.Contains(serial, "xt") {
+		t.Fatalf("Pareto front carries no TFET-accelerator mix:\n%s", serial)
 	}
 }
 
@@ -116,10 +119,10 @@ func TestSoCParetoShape(t *testing.T) {
 	if len(tb.Rows) == 0 {
 		t.Fatal("empty Pareto front")
 	}
-	if len(tb.Columns) != 8 {
-		t.Fatalf("Pareto table has %d columns, want 8: %v", len(tb.Columns), tb.Columns)
+	if len(tb.Columns) != 9 {
+		t.Fatalf("Pareto table has %d columns, want 9: %v", len(tb.Columns), tb.Columns)
 	}
-	const timeCol, energyCol = 5, 6
+	const timeCol, energyCol = 6, 7
 	for i, row := range tb.Rows {
 		if len(row.Values) != len(tb.Columns) {
 			t.Fatalf("row %s has %d values, want %d", row.Label, len(row.Values), len(tb.Columns))

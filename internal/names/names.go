@@ -1,0 +1,40 @@
+// Package names provides the shared name-matching helpers behind every
+// lookup miss: edit distance and nearest-candidate suggestion. The
+// experiment registry, the SoC workload table and the GPU kernel catalog
+// all answer an unknown name with the closest known one, through this
+// package, so a typo'd -exp, -workloads or -kernels flag points at the
+// intended spelling instead of a bare list.
+package names
+
+// Nearest returns the candidate with the smallest edit distance to name
+// (ties break toward the earliest candidate). Empty candidates yield "".
+func Nearest(name string, candidates []string) string {
+	best, bestDist := "", -1
+	for _, c := range candidates {
+		if d := EditDistance(name, c); bestDist < 0 || d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// EditDistance is the Levenshtein distance between a and b.
+func EditDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,47 @@
+package names
+
+import "testing"
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"fig7", "fig8", 1},
+		{"radix", "radiosity", 5},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := EditDistance(c.b, c.a); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cands := []string{"barnes", "blackscholes", "radix", "raytrace"}
+	for _, c := range []struct{ name, want string }{
+		{"radixx", "radix"},
+		{"barnse", "barnes"},
+		{"raytrase", "raytrace"},
+		{"barnes", "barnes"},
+	} {
+		if got := Nearest(c.name, cands); got != c.want {
+			t.Errorf("Nearest(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+	if got := Nearest("anything", nil); got != "" {
+		t.Errorf("Nearest with no candidates = %q, want empty", got)
+	}
+	// Ties break toward the earliest candidate.
+	if got := Nearest("ab", []string{"aa", "bb"}); got != "aa" {
+		t.Errorf("tie broke to %q, want first candidate", got)
+	}
+}

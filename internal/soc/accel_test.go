@@ -1,0 +1,113 @@
+package soc
+
+import (
+	"testing"
+
+	"hetcore/internal/energy"
+)
+
+func TestAccelComponentDerivation(t *testing.T) {
+	wl, comps := measure(t, "fft", 50_000, true)
+	entry, err := energy.AccelEntryFor(wl.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := comps.GPU
+	cmos, tfet := comps.AccelCMOS, comps.AccelTFET
+	for _, a := range []AccelComponent{cmos, tfet} {
+		if a.Kernel != wl.Kernel || a.Config != gpu.Config {
+			t.Errorf("accel %s not derived from the GPU measurement: %+v", a.Tech, a)
+		}
+		if a.RateIPSPerUnit != gpu.RateIPSPerCU*entry.PerfPerUnit {
+			t.Errorf("accel %s rate %v, want %v CU-rate x perf", a.Tech, a.RateIPSPerUnit,
+				gpu.RateIPSPerCU*entry.PerfPerUnit)
+		}
+		if a.DynJPerInstr >= gpu.DynJPerInstr {
+			t.Errorf("accel %s dyn %v should beat the GPU's %v", a.Tech, a.DynJPerInstr, gpu.DynJPerInstr)
+		}
+	}
+	// The TFET build applies the standard factors on top of the CMOS one.
+	if tfet.DynJPerInstr >= cmos.DynJPerInstr {
+		t.Errorf("TFET accel dyn %v not below CMOS %v", tfet.DynJPerInstr, cmos.DynJPerInstr)
+	}
+	if tfet.LeakWPerUnit >= cmos.LeakWPerUnit {
+		t.Errorf("TFET accel leak %v not below CMOS %v", tfet.LeakWPerUnit, cmos.LeakWPerUnit)
+	}
+	if comps.Accel(AccelCMOS) != cmos || comps.Accel(AccelTFET) != tfet {
+		t.Error("Components.Accel does not select the builds")
+	}
+}
+
+func TestEvaluateAccelPlacement(t *testing.T) {
+	const instr = 50_000
+	wl, comps := measure(t, "fft", instr, true)
+	cfg := Config{CMOSCores: 2, AccelUnits: 4, AccelTech: AccelTFET}
+
+	r, err := EvaluateWith(cfg, wl, instr, comps, pickTarget("accel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Target != "accel" || r.OffloadFrac != wl.OffloadFrac {
+		t.Errorf("forced accel placement gave target %q offload %v, want accel/%v",
+			r.Target, r.OffloadFrac, wl.OffloadFrac)
+	}
+	if r.AccelInstrs <= 0 || r.AccelDynJ <= 0 {
+		t.Errorf("offloaded work should reach the accelerator: instrs %v dyn %v",
+			r.AccelInstrs, r.AccelDynJ)
+	}
+	if r.GPUInstrs != 0 || r.GPUDynJ != 0 {
+		t.Errorf("no GPU on die, yet GPU work recorded: %+v", r)
+	}
+	if r.AccelUnits != 4 || r.AccelTech != string(AccelTFET) {
+		t.Errorf("result does not carry the accelerator mix: %+v", r)
+	}
+
+	// The same placement on a CMOS build burns more dynamic energy.
+	cmosCfg := Config{CMOSCores: 2, AccelUnits: 4, AccelTech: AccelCMOS}
+	rc, err := EvaluateWith(cmosCfg, wl, instr, comps, pickTarget("accel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.AccelDynJ <= r.AccelDynJ {
+		t.Errorf("CMOS accel dyn %v should exceed TFET %v", rc.AccelDynJ, r.AccelDynJ)
+	}
+	if rc.TimeSec != r.TimeSec {
+		t.Errorf("iso-throughput builds should run in equal time: %v vs %v", rc.TimeSec, r.TimeSec)
+	}
+
+	// Units without a measured accelerator component are rejected.
+	var noAccel Components
+	noAccel.CMOS, noAccel.TFET, noAccel.GPU = comps.CMOS, comps.TFET, comps.GPU
+	if _, err := Evaluate(cfg, wl, instr, noAccel); err == nil {
+		t.Error("accelerator units without a measured component should fail")
+	}
+}
+
+func TestConfigClass(t *testing.T) {
+	for _, c := range []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{CMOSCores: 1}, "cores-only"},
+		{Config{CMOSCores: 1, GPUCUs: 8}, "gpu-only"},
+		{Config{CMOSCores: 1, AccelUnits: 2, AccelTech: AccelCMOS}, "accel-cmos"},
+		{Config{CMOSCores: 1, AccelUnits: 2, AccelTech: AccelTFET}, "accel-tfet"},
+		{Config{CMOSCores: 1, GPUCUs: 4, AccelUnits: 2, AccelTech: AccelTFET}, "gpu+accel-tfet"},
+	} {
+		if got := c.cfg.Class(); got != c.want {
+			t.Errorf("Class(%s) = %q, want %q", c.cfg.Name(), got, c.want)
+		}
+	}
+}
+
+func TestFootprintWithAccel(t *testing.T) {
+	base := Config{CMOSCores: 1}.Footprint()
+	cmos := Config{CMOSCores: 1, AccelUnits: 2, AccelTech: AccelCMOS}.Footprint()
+	tfet := Config{CMOSCores: 1, AccelUnits: 2, AccelTech: AccelTFET}.Footprint()
+	if cmos.AreaMM2 <= base.AreaMM2 || tfet.AreaMM2 != cmos.AreaMM2 {
+		t.Errorf("accel area wrong: base %v cmos %v tfet %v", base.AreaMM2, cmos.AreaMM2, tfet.AreaMM2)
+	}
+	if tfet.PeakW >= cmos.PeakW {
+		t.Errorf("TFET accel peak %v not below CMOS %v", tfet.PeakW, cmos.PeakW)
+	}
+}

@@ -1,0 +1,82 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig holds the config-grammar contract under arbitrary
+// input: ParseConfig never panics, and any name it accepts is canonical
+// (Name() reproduces the input and re-parses to the same mix).
+func FuzzParseConfig(f *testing.F) {
+	for _, s := range []string{
+		"c1t0g0", "c0t1g0", "c8t12g16", "c2t1g4xc2", "c2t1g4xt4", "c1t0g0xt12",
+		"", "c1t2", "c1t2g3x", "c01t2g3", "t2g3c1", "c-1t2g3", "c1 t2 g3",
+		"c1t0g0xq2", "c1t0g0xc0", "c1t0g0xc01", "c1t0g0x2", "c1t0g0xt2x",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if cfg.Name() != s {
+			t.Fatalf("ParseConfig(%q) accepted a non-canonical name (canonical %q)", s, cfg.Name())
+		}
+		again, err := ParseConfig(cfg.Name())
+		if err != nil || again != cfg {
+			t.Fatalf("reparse(%q) = %+v, %v; want %+v", cfg.Name(), again, err, cfg)
+		}
+	})
+}
+
+// FuzzConfigRoundTrip drives the inverse direction: every valid Config
+// survives Name -> ParseConfig unchanged.
+func FuzzConfigRoundTrip(f *testing.F) {
+	f.Add(1, 0, 0, 0, false)
+	f.Add(2, 3, 8, 4, true)
+	f.Add(0, 12, 16, 2, false)
+	f.Fuzz(func(t *testing.T, c, tc, g, units int, tfet bool) {
+		cfg := Config{CMOSCores: c, TFETCores: tc, GPUCUs: g, AccelUnits: units}
+		if units > 0 {
+			cfg.AccelTech = AccelCMOS
+			if tfet {
+				cfg.AccelTech = AccelTFET
+			}
+		}
+		if cfg.Validate() != nil {
+			return // invalid mixes have no canonical-name contract
+		}
+		got, err := ParseConfig(cfg.Name())
+		if err != nil {
+			t.Fatalf("ParseConfig(Name(%+v) = %q): %v", cfg, cfg.Name(), err)
+		}
+		if got != cfg {
+			t.Fatalf("round trip %q = %+v, want %+v", cfg.Name(), got, cfg)
+		}
+	})
+}
+
+// TestParseConfigAccelErrors pins the malformed-accelerator-term
+// diagnostics: the error names the offending token.
+func TestParseConfigAccelErrors(t *testing.T) {
+	for _, term := range []string{
+		"x", "x2", "xc", "xt", "xq2", "xc0", "xc01", "xcc2", "xt2x", "xc-1", "xc 2",
+	} {
+		name := "c1t0g0" + term
+		_, err := ParseConfig(name)
+		if err == nil {
+			t.Errorf("ParseConfig(%q) should fail", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), term) {
+			t.Errorf("ParseConfig(%q) error %q does not name the offending term %q",
+				name, err.Error(), term)
+		}
+	}
+	// A valid accel term on an invalid base still reports the base form.
+	if _, err := ParseConfig("c01t0g0xc2"); err == nil {
+		t.Error("non-canonical base with accel term should fail")
+	}
+}

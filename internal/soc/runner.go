@@ -10,13 +10,15 @@ import (
 
 // MeasureComponents runs the component simulations directly — 1-core
 // BaseCMOS and BaseTFET on the workload, plus the AdvHet GPU on the
-// paired kernel when needGPU — and derives composition parameters. The
-// engine-based search in the harness computes the same components
-// through memoized run-plan jobs; both paths execute the same pure
-// functions of (workload, seed, instruction budget), so a design point
-// evaluates identically whether it runs locally, from cache or on a
-// remote daemon.
-func MeasureComponents(wl Workload, seed, totalInstr uint64, needGPU bool) (Components, error) {
+// paired kernel when needKernel — and derives composition parameters.
+// One kernel measurement fills the GPU component and both accelerator
+// builds (they rescale the same run), so any mix with CUs or
+// accelerator units asks for the kernel. The engine-based search in the
+// harness computes the same components through memoized run-plan jobs;
+// both paths execute the same pure functions of (workload, seed,
+// instruction budget), so a design point evaluates identically whether
+// it runs locally, from cache or on a remote daemon.
+func MeasureComponents(wl Workload, seed, totalInstr uint64, needKernel bool) (Components, error) {
 	prof, err := trace.CPUWorkload(wl.Name)
 	if err != nil {
 		return Components{}, err
@@ -43,7 +45,7 @@ func MeasureComponents(wl Workload, seed, totalInstr uint64, needGPU bool) (Comp
 			return Components{}, err
 		}
 	}
-	if needGPU {
+	if needKernel {
 		gcfg, err := hetsim.GPUConfigByName(GPUConfig)
 		if err != nil {
 			return Components{}, err
@@ -56,12 +58,26 @@ func MeasureComponents(wl Workload, seed, totalInstr uint64, needGPU bool) (Comp
 		if err != nil {
 			return Components{}, err
 		}
-		comps.GPU, err = GPUComponentOf(gres)
-		if err != nil {
+		if err := comps.FillKernel(gres); err != nil {
 			return Components{}, err
 		}
 	}
 	return comps, nil
+}
+
+// FillKernel derives the GPU component and both accelerator builds from
+// one kernel measurement. Harness and remote paths both go through this,
+// so every path reconstructs bit-identical components from the same run.
+func (c *Components) FillKernel(r hetsim.GPUResult) error {
+	var err error
+	if c.GPU, err = GPUComponentOf(r); err != nil {
+		return err
+	}
+	if c.AccelCMOS, err = AccelComponentOf(r, AccelCMOS); err != nil {
+		return err
+	}
+	c.AccelTFET, err = AccelComponentOf(r, AccelTFET)
+	return err
 }
 
 // The SoC registers as a fourth device kind: the harness, the dist
@@ -99,7 +115,8 @@ func init() {
 				return nil, err
 			}
 			wallStart := time.Now()
-			comps, err := MeasureComponents(wl, opts.Seed, opts.TotalInstructions, cfg.GPUCUs > 0)
+			comps, err := MeasureComponents(wl, opts.Seed, opts.TotalInstructions,
+				cfg.GPUCUs > 0 || cfg.AccelUnits > 0)
 			if err != nil {
 				return nil, err
 			}

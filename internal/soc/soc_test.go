@@ -1,14 +1,29 @@
 package soc
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 
 	"hetcore/internal/energy"
+	"hetcore/internal/governor"
 	"hetcore/internal/hetsim"
 	"hetcore/internal/trace"
 )
+
+// pickTarget is a forced dispatcher for tests: it always places the
+// offloadable fraction on the named target.
+func pickTarget(target string) governor.Dispatcher {
+	return func(cands []governor.Candidate) (int, error) {
+		for i, c := range cands {
+			if c.Target == target {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("no %q candidate in %v", target, cands)
+	}
+}
 
 func TestConfigNameRoundTrip(t *testing.T) {
 	for _, cfg := range DefaultSpace() {
@@ -67,9 +82,19 @@ func TestConfigFitsExactBudget(t *testing.T) {
 
 func TestDefaultSpace(t *testing.T) {
 	space := DefaultSpace()
-	// 4 CU tiers x 9 CMOS counts x 13 TFET counts, minus the 4 coreless.
-	if want := 4*9*13 - 4; len(space) != want {
+	// 5 accelerator tiers x (4 CU tiers x 9 CMOS counts x 13 TFET
+	// counts, minus the 4 coreless).
+	perTier := 4*9*13 - 4
+	if want := 5 * perTier; len(space) != want {
 		t.Fatalf("DefaultSpace has %d mixes, want %d", len(space), want)
+	}
+	// The pre-accelerator space stays a stable prefix: engine keys and
+	// search order for old mixes are unchanged.
+	for i := 0; i < perTier; i++ {
+		if space[i].AccelUnits != 0 {
+			t.Fatalf("mix %d (%s) in the no-accelerator prefix has accelerator units",
+				i, space[i].Name())
+		}
 	}
 	seen := map[string]bool{}
 	for _, cfg := range space {
@@ -212,21 +237,39 @@ func TestEvaluateProperties(t *testing.T) {
 	})
 
 	t.Run("GPU offload", func(t *testing.T) {
-		r, err := Evaluate(Config{CMOSCores: 2, GPUCUs: 8}, wl, instr, comps)
+		cfg := Config{CMOSCores: 2, GPUCUs: 8}
+		// Force the GPU placement: the offloadable fraction lands there.
+		rg, err := EvaluateWith(cfg, wl, instr, comps, pickTarget("gpu"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if r.OffloadFrac != wl.OffloadFrac {
-			t.Errorf("OffloadFrac %v, want %v", r.OffloadFrac, wl.OffloadFrac)
+		if rg.Target != "gpu" || rg.OffloadFrac != wl.OffloadFrac {
+			t.Errorf("forced GPU placement gave target %q offload %v, want gpu/%v",
+				rg.Target, rg.OffloadFrac, wl.OffloadFrac)
 		}
-		if r.GPUInstrs <= 0 || r.GPUDynJ <= 0 {
-			t.Errorf("offloaded work should reach the GPU: instrs %v dyn %v", r.GPUInstrs, r.GPUDynJ)
+		if rg.GPUInstrs <= 0 || rg.GPUDynJ <= 0 {
+			t.Errorf("offloaded work should reach the GPU: instrs %v dyn %v", rg.GPUInstrs, rg.GPUDynJ)
+		}
+		// The default dispatcher picks the ED²-minimal placement.
+		rc, err := EvaluateWith(cfg, wl, instr, comps, pickTarget("cores"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Evaluate(cfg, wl, instr, comps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best := math.Min(rc.ED2(), rg.ED2()); r.ED2() > best {
+			t.Errorf("dispatch picked %q with ED² %v, a placement has %v", r.Target, r.ED2(), best)
+		}
+		if r.Target == "cores" && r.OffloadFrac != 0 {
+			t.Errorf("cores placement with nonzero OffloadFrac %v", r.OffloadFrac)
 		}
 		rn, err := Evaluate(Config{CMOSCores: 2}, wl, instr, comps)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rn.GPUInstrs != 0 || rn.GPUDynJ != 0 || rn.OffloadFrac != 0 {
+		if rn.GPUInstrs != 0 || rn.GPUDynJ != 0 || rn.OffloadFrac != 0 || rn.Target != "cores" {
 			t.Errorf("no CUs must mean no offload: %+v", rn)
 		}
 	})
@@ -250,9 +293,10 @@ func TestEvaluateProperties(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d := relDiff(r.SerialInstrs+r.CoreInstrs+r.GPUInstrs, float64(r.Instructions)); d > 1e-12 {
-			t.Errorf("split loses instructions: %v + %v + %v != %d",
-				r.SerialInstrs, r.CoreInstrs, r.GPUInstrs, r.Instructions)
+		sum := r.SerialInstrs + r.CoreInstrs + r.GPUInstrs + r.AccelInstrs
+		if d := relDiff(sum, float64(r.Instructions)); d > 1e-12 {
+			t.Errorf("split loses instructions: %v + %v + %v + %v != %d",
+				r.SerialInstrs, r.CoreInstrs, r.GPUInstrs, r.AccelInstrs, r.Instructions)
 		}
 	})
 }

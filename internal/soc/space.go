@@ -6,22 +6,35 @@ import (
 	"hetcore/internal/energy"
 )
 
-// DefaultSpace enumerates the design-space-search candidates: 0–8 CMOS
-// cores × 0–12 TFET cores × {0, 4, 8, 16} GPU CUs, minus the coreless
-// mixes (a GPU cannot run the serial phase alone). 464 candidate mixes;
-// roughly 200 fit the default 20 W / 50 mm² budget. The enumeration
-// order is fixed (CUs, then CMOS, then TFET ascending) so searches are
-// deterministic.
+// DefaultSpace enumerates the design-space-search candidates:
+// {no accelerator, 2 or 4 units in a CMOS or TFET build} × {0, 4, 8, 16}
+// GPU CUs × 0–8 CMOS cores × 0–12 TFET cores, minus the coreless mixes
+// (a GPU or accelerator cannot run the serial phase alone). 5 × 464 =
+// 2320 candidate mixes. The enumeration order is fixed (accelerator
+// tier, then CUs, then CMOS, then TFET ascending, with the
+// no-accelerator tier first so the pre-accelerator space is a stable
+// prefix) so searches are deterministic.
 func DefaultSpace() []Config {
+	tiers := []struct {
+		units int
+		tech  AccelTech
+	}{
+		{0, ""},
+		{2, AccelCMOS}, {4, AccelCMOS},
+		{2, AccelTFET}, {4, AccelTFET},
+	}
 	var out []Config
-	for _, g := range []int{0, 4, 8, 16} {
-		for c := 0; c <= 8; c++ {
-			for t := 0; t <= 12; t++ {
-				cfg := Config{CMOSCores: c, TFETCores: t, GPUCUs: g}
-				if cfg.Validate() != nil {
-					continue
+	for _, ax := range tiers {
+		for _, g := range []int{0, 4, 8, 16} {
+			for c := 0; c <= 8; c++ {
+				for t := 0; t <= 12; t++ {
+					cfg := Config{CMOSCores: c, TFETCores: t, GPUCUs: g,
+						AccelUnits: ax.units, AccelTech: ax.tech}
+					if cfg.Validate() != nil {
+						continue
+					}
+					out = append(out, cfg)
 				}
-				out = append(out, cfg)
 			}
 		}
 	}

@@ -1,0 +1,79 @@
+package soc
+
+import (
+	"testing"
+
+	"hetcore/internal/energy"
+)
+
+func TestParetoFrontEdges(t *testing.T) {
+	t.Run("empty input", func(t *testing.T) {
+		if front := ParetoFront(nil); len(front) != 0 {
+			t.Errorf("ParetoFront(nil) = %v, want empty", front)
+		}
+	})
+
+	t.Run("single summary", func(t *testing.T) {
+		s := Summary{Name: "c1t0g0", TimeSec: 2, EnergyJ: 3}
+		front := ParetoFront([]Summary{s})
+		if len(front) != 1 || front[0].Name != s.Name {
+			t.Errorf("singleton front = %v, want just %s", front, s.Name)
+		}
+	})
+
+	t.Run("tied points keep the first name", func(t *testing.T) {
+		// Two mixes with identical (time, energy) — identical ED² — must
+		// collapse to the lexicographically first, deterministically in
+		// any input order.
+		a := Summary{Name: "c1t0g0", TimeSec: 2, EnergyJ: 3}
+		b := Summary{Name: "c0t1g0", TimeSec: 2, EnergyJ: 3}
+		for _, in := range [][]Summary{{a, b}, {b, a}} {
+			front := ParetoFront(in)
+			if len(front) != 1 || front[0].Name != "c0t1g0" {
+				t.Errorf("tied front = %v, want just c0t1g0", front)
+			}
+		}
+	})
+
+	t.Run("equal time keeps the frugal mix", func(t *testing.T) {
+		a := Summary{Name: "c2t0g0", TimeSec: 2, EnergyJ: 5}
+		b := Summary{Name: "c1t1g0", TimeSec: 2, EnergyJ: 3}
+		front := ParetoFront([]Summary{a, b})
+		if len(front) != 1 || front[0].Name != "c1t1g0" {
+			t.Errorf("front = %v, want just c1t1g0", front)
+		}
+	})
+}
+
+func TestPartitionEdges(t *testing.T) {
+	t.Run("empty space", func(t *testing.T) {
+		in, over := Partition(nil, DefaultBudget())
+		if len(in) != 0 || len(over) != 0 {
+			t.Errorf("Partition(nil) = %v, %v, want empty", in, over)
+		}
+	})
+
+	space := []Config{
+		{CMOSCores: 1},
+		{CMOSCores: 8, TFETCores: 12, GPUCUs: 16, AccelUnits: 4, AccelTech: AccelCMOS},
+	}
+
+	t.Run("unconstrained budget admits everything", func(t *testing.T) {
+		// A zero dimension means unconstrained (energy.Budget semantics);
+		// the all-zero budget therefore rejects nothing.
+		in, over := Partition(space, energy.Budget{})
+		if len(in) != len(space) || len(over) != 0 {
+			t.Errorf("unconstrained partition kept %d, rejected %d", len(in), len(over))
+		}
+	})
+
+	t.Run("one constrained axis still partitions", func(t *testing.T) {
+		in, over := Partition(space, energy.Budget{PowerW: 10})
+		if len(in) != 1 || len(over) != 1 {
+			t.Fatalf("power-only partition kept %d, rejected %d, want 1/1", len(in), len(over))
+		}
+		if in[0].Name() != "c1t0g0" {
+			t.Errorf("kept %s, want c1t0g0", in[0].Name())
+		}
+	})
+}

@@ -3,6 +3,8 @@ package soc
 import (
 	"fmt"
 	"sort"
+
+	"hetcore/internal/names"
 )
 
 // Workload pairs one CPU workload profile with the GPU kernel that
@@ -49,17 +51,20 @@ func Workloads() []Workload {
 	return out
 }
 
-// WorkloadByName returns the pairing for one CPU workload.
+// WorkloadByName returns the pairing for one CPU workload. A miss names
+// the closest known workload, the same way the experiment registry
+// answers an unknown -exp.
 func WorkloadByName(name string) (Workload, error) {
 	for _, w := range workloadTable {
 		if w.Name == name {
 			return w, nil
 		}
 	}
-	names := make([]string, len(workloadTable))
+	ns := make([]string, len(workloadTable))
 	for i, w := range workloadTable {
-		names[i] = w.Name
+		ns[i] = w.Name
 	}
-	sort.Strings(names)
-	return Workload{}, fmt.Errorf("soc: unknown workload %q (have %v)", name, names)
+	sort.Strings(ns)
+	return Workload{}, fmt.Errorf("soc: unknown workload %q (closest match %q; have %v)",
+		name, names.Nearest(name, ns), ns)
 }

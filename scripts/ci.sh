@@ -44,7 +44,7 @@ echo "== engine determinism (go test -race) =="
 # its tests (plus the harness golden jobs=1-vs-jobs=8 comparison) get an
 # explicit race-enabled pass before the full suite.
 go test -race ./internal/engine/
-go test -race -run 'TestFigTablesDeterministicAcrossJobs|TestEngineCacheSharedAcrossFigures|TestSoCDeterministicAcrossJobs' ./internal/harness/
+go test -race -run 'TestFigTablesDeterministicAcrossJobs|TestEngineCacheSharedAcrossFigures|TestSoCDeterministicAcrossJobs|TestSoCAccelDeterministicAcrossJobs' ./internal/harness/
 
 echo "== go test -race =="
 go test -race ./...
@@ -152,6 +152,33 @@ if ! grep -q '"engine_jobs_run": 0' "$tmp/soc-rerun.json"; then
 fi
 if ! grep -q '"soc_configs_evaluated"' "$tmp/soc-rerun.json"; then
     echo "soc manifest counters missing from the report" >&2
+    exit 1
+fi
+
+echo "== accel gate (soc -accel determinism + cached rerun) =="
+# The accelerator search rides the same engine contract: -jobs widths
+# must render byte-identical tables (now including the accel and
+# socaccel comparisons), and a cached rerun must simulate nothing.
+accel_run() {
+    # $1: output file, extra args follow.
+    out=$1; shift
+    "$tmp/hetcore" soc -accel -workloads fft -instr 40000 "$@" >"$out"
+}
+
+accel_run "$tmp/accel-jobs1.txt" -jobs 1 -cache-dir "$tmp/accel-cache"
+accel_run "$tmp/accel-jobs8.txt" -jobs 8 -cache-dir "$tmp/accel-cache" \
+    -metrics-out "$tmp/accel-rerun.json"
+cmp "$tmp/accel-jobs1.txt" "$tmp/accel-jobs8.txt" || {
+    echo "accel search differs between -jobs=1 and -jobs=8" >&2
+    exit 1
+}
+if ! grep -q '"engine_jobs_run": 0' "$tmp/accel-rerun.json"; then
+    echo "cached accel rerun still simulated (engine_jobs_run != 0):" >&2
+    grep '"engine_' "$tmp/accel-rerun.json" >&2
+    exit 1
+fi
+if ! grep -q 'TFET accelerator mix' "$tmp/accel-jobs1.txt"; then
+    echo "socaccel verdict missing from soc -accel output" >&2
     exit 1
 fi
 
