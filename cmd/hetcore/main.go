@@ -7,6 +7,7 @@
 //	hetcore run -exp fig7 [-instr N] [-seed S] [-workloads a,b] [-kernels X,Y] [-csv]
 //	hetcore all [-instr N] [-seed S] [-csv]
 //	hetcore soc [-budget-w W] [-budget-mm2 A] [-breakdown] [-accel] [...]
+//	hetcore traffic [-trace T] [-policy P] [-config C] [-slo-ms MS] [-budget-w W] [-o F]
 //	hetcore bench [-instr N] [-o BENCH_sim_rate.json] [-history F]
 //	hetcore hotspots [-device cpu|gpu] [-config C] [-workload W] [-o F]
 //	hetcore trend [-history F] [-window N] [-tol PCT] [-rate-tol PCT]
@@ -17,7 +18,10 @@
 // paper order; "soc" searches every CMOS-core/TFET-core/GPU-CU/
 // accelerator mix that fits an area/power budget and prints the Pareto
 // front (time vs energy; -accel adds the class-best comparison of
-// cores vs GPU vs CMOS/TFET accelerators); "bench" measures the
+// cores vs GPU vs CMOS/TFET accelerators); "traffic" steps a core mix
+// through a diurnal/bursty/flat request trace under pluggable wake/
+// sleep + DVFS scheduling policies and reports energy per request and
+// latency quantiles against the SLO; "bench" measures the
 // simulation rate of this host (and with
 // -history appends the record to a BENCH_history.jsonl trend file);
 // "hotspots" runs one workload under CPU+heap profile plus the in-sim
@@ -54,12 +58,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"hetcore/internal/dist"
 	"hetcore/internal/harness"
 	"hetcore/internal/obs"
 	"hetcore/internal/soc"
+	"hetcore/internal/traffic"
 )
 
 func main() {
@@ -77,6 +83,8 @@ func main() {
 		err = all(os.Args[2:])
 	case "soc":
 		err = socCmd(os.Args[2:])
+	case "traffic":
+		err = trafficCmd(os.Args[2:])
 	case "bench":
 		err = bench(os.Args[2:])
 	case "hotspots":
@@ -108,6 +116,7 @@ Commands:
   run -exp <id> [...]  run one experiment (e.g. fig7, table1)
   all [...]            run every experiment in paper order
   soc [...]            budgeted SoC design-space search (Pareto front)
+  traffic [...]        diurnal traffic scenarios: mixes x scheduling policies
   bench [...]          measure this host's simulation rate
   hotspots [...]       profile one workload: stage attribution + top functions
   trend [...]          gate the newest BENCH_history.jsonl entries on their history
@@ -143,6 +152,17 @@ Flags for soc (plus all run/all flags above):
                        of every Pareto-front mix
   -accel               also print the class-best comparison (cores-only vs
                        GPU-only vs CMOS/TFET accelerator mixes, by ED²)
+
+Flags for traffic (plus all run/all flags above):
+  -trace T             synthetic trace (diurnal, bursty, flat) or a
+                       .csv/.jsonl trace file (epoch_sec,rps rows)
+  -policy P,Q          restrict scheduling policies (naive, util, cacheaware)
+  -config M,N          core mixes to serve the trace (default c4t4g0,c8t0g0)
+  -slo-ms MS           latency SLO in milliseconds (default 50)
+  -budget-w W          chip power budget in watts (default uncapped)
+  -req-instr N         instructions per request (default 2000000)
+  -o F                 write the hetcore.traffic/v1 report JSON here
+  -history F           append the report to this BENCH_history.jsonl
 
 Flags for bench:
   -instr N             CPU instruction budget (default 2000000)
@@ -362,6 +382,88 @@ func socCmd(args []string) error {
 		if err := emit(at, *csv, *js); err != nil {
 			return err
 		}
+	}
+	return sess.Close()
+}
+
+// trafficCmd runs the diurnal-service simulation: the scenario matrix
+// (core mixes × scheduling policies) steps through the traffic trace,
+// one engine job per scenario, and the per-scenario energy/latency/SLO
+// accounting is printed (and optionally written as a hetcore.traffic/v1
+// report).
+func trafficCmd(args []string) error {
+	fs := flag.NewFlagSet("traffic", flag.ExitOnError)
+	traceFlag := fs.String("trace", "diurnal", "synthetic trace (diurnal, bursty, flat) or a .csv/.jsonl trace file")
+	policyFlag := fs.String("policy", "", "comma-separated scheduling policies (default: all)")
+	configFlag := fs.String("config", "", "comma-separated core mixes (default: "+strings.Join(traffic.DefaultMixes, ",")+")")
+	budgetW := fs.Float64("budget-w", 0, "chip power budget in watts (0 = uncapped)")
+	sloMS := fs.Float64("slo-ms", 0, "latency SLO in milliseconds (0 = default 50)")
+	reqInstr := fs.Uint64("req-instr", 0, "instructions per request (0 = default 2000000)")
+	out := fs.String("o", "", "write the hetcore.traffic/v1 report JSON here")
+	history := fs.String("history", "", "append the report to this BENCH_history.jsonl")
+	sim := harness.AddSimFlags(fs)
+	ob := harness.AddObsFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV")
+	js := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, fileTrace, err := traffic.ResolveTrace(*traceFlag)
+	if err != nil {
+		return err
+	}
+	policies := traffic.PolicyNames()
+	if *policyFlag != "" {
+		policies = strings.Split(*policyFlag, ",")
+		for _, p := range policies {
+			if _, err := traffic.PolicyByName(p); err != nil {
+				return err
+			}
+		}
+	}
+	mixes := traffic.DefaultMixes
+	if *configFlag != "" {
+		mixes = strings.Split(*configFlag, ",")
+	}
+	knobs := harness.TrafficKnobs{SLOSec: *sloMS / 1e3, BudgetW: *budgetW, ReqInstr: *reqInstr}
+
+	sess, err := ob.Start(os.Args)
+	if err != nil {
+		return err
+	}
+	sess.Experiments = []string{"traffic"}
+	sess.Seed = sim.Seed
+	opts := sim.Options()
+	opts.Obs = sess.Obs
+	opts, err = opts.WithSharedEngine()
+	if err != nil {
+		return err
+	}
+	sess.Engine = opts.Engine
+	sess.Obs.SetPhase("traffic")
+	rep, err := harness.TrafficReport(opts, tr, fileTrace, mixes, policies, knobs)
+	if err != nil {
+		return err
+	}
+	t := harness.TrafficTable("traffic",
+		fmt.Sprintf("Traffic scenarios on trace %s (%d epochs)", tr.Name, len(tr.RPS)),
+		fmt.Sprintf("SLO %.0f ms; energy per request includes leakage of every awake core.", rep.SLOMS),
+		rep.Scenarios)
+	if err := emit(t, *csv, *js); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *history != "" {
+		entry := harness.NewTrafficHistoryEntry(*rep, runtime.Version(), time.Now().Unix())
+		if err := harness.AppendHistory(*history, entry); err != nil {
+			return err
+		}
+		fmt.Printf("appended to %s\n", *history)
 	}
 	return sess.Close()
 }

@@ -109,6 +109,15 @@ func (a *AsymmetricDL1) Invalidate(addr uint64) (present, dirty bool) {
 	return p1 || p2, d1 || d2
 }
 
+// Occupancy returns the valid-line fraction over both arrays combined,
+// weighted by capacity, so the asymmetric DL1 reports on the same [0, 1]
+// scale as a plain DL1 of the same total size.
+func (a *AsymmetricDL1) Occupancy() float64 {
+	valid := a.fast.validLines() + a.slow.validLines()
+	total := len(a.fast.data) + len(a.slow.data)
+	return float64(valid) / float64(total)
+}
+
 // FastStats returns the CMOS way's counters.
 func (a *AsymmetricDL1) FastStats() Stats { return a.fast.Stats() }
 

@@ -113,6 +113,24 @@ func (c *Cache) Ways() int { return c.ways }
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// validLines counts the lines currently holding data.
+func (c *Cache) validLines() int {
+	n := 0
+	for i := range c.data {
+		if c.data[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy returns the fraction of lines currently valid, in [0, 1].
+// It is a state observation, not a counter: no delta against a warmup
+// snapshot is needed.
+func (c *Cache) Occupancy() float64 {
+	return float64(c.validLines()) / float64(len(c.data))
+}
+
 // lineAddr maps a byte address to its line-granular address.
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
 

@@ -433,6 +433,30 @@ func (h *Hierarchy) Counts() Counts {
 	return out
 }
 
+// Occupancy is the valid-line fraction of each data level. DL1 and L2
+// are means over the per-core private arrays; L3 is the shared array.
+type Occupancy struct {
+	DL1, L2, L3 float64
+}
+
+// Occupancy reports the current valid-line fraction of the data levels.
+func (h *Hierarchy) Occupancy() Occupancy {
+	var o Occupancy
+	for c := 0; c < h.cfg.Cores; c++ {
+		if h.cfg.AsymDL1 {
+			o.DL1 += h.adl1[c].Occupancy()
+		} else {
+			o.DL1 += h.dl1[c].Occupancy()
+		}
+		o.L2 += h.l2[c].Occupancy()
+	}
+	n := float64(h.cfg.Cores)
+	o.DL1 /= n
+	o.L2 /= n
+	o.L3 = h.l3.Occupancy()
+	return o
+}
+
 // DL1HitRate returns the data-cache hit rate of one core (fast+slow
 // combined when asymmetric).
 func (h *Hierarchy) DL1HitRate(core int) float64 {

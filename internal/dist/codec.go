@@ -9,6 +9,7 @@ import (
 	"hetcore/internal/hetsim"
 	"hetcore/internal/soc"
 	"hetcore/internal/trace"
+	"hetcore/internal/traffic"
 )
 
 // The result codec: engine jobs return `any`, but the disk cache and the
@@ -44,6 +45,7 @@ func init() {
 	RegisterResult("hetsim.HeteroCMPResult", hetsim.HeteroCMPResult{})
 	RegisterResult("soc.Result", soc.Result{})
 	RegisterResult("trace.Summary", trace.Summary{})
+	RegisterResult("traffic.Result", traffic.Result{})
 }
 
 // RegisteredResults returns every registered (name, prototype) pair,

@@ -22,7 +22,11 @@ import (
 // fields and dispatch placement, and the config grammar grows the
 // x{c|t}<U> accelerator term, so v3 soc entries no longer decode to
 // the same shape.
-const CacheVersion = 4
+// v5: traffic scenarios — "traffic" joins the runner registry with
+// "traffic.Result" in the codec, and CPU component runs gain the cache
+// MPKI/occupancy fields the cache-aware scheduler conditions on, so v4
+// cpu entries would replay without them.
+const CacheVersion = 5
 
 var deviceHash = sync.OnceValue(func() string {
 	// Hash the fully-rendered CPU and GPU configuration tables: any

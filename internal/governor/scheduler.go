@@ -1,0 +1,95 @@
+package governor
+
+// Traffic scheduling: where the Dispatcher places one workload's
+// offloadable fraction inside a single run, the Scheduler runs the
+// closed loop of a live service — every epoch of a traffic trace it
+// decides how many CMOS and TFET cores stay awake, what matched DVFS
+// point the chip runs at, and which core class each workload in the mix
+// should prefer. The traffic simulator (internal/traffic) builds an
+// EpochState from the offered load, the queue and the measured per-class
+// request costs, and executes whatever the policy returns (after
+// clamping it to the physical inventory and the DVFS curves).
+
+// CoreClass names one of the SoC's two core flavours.
+type CoreClass string
+
+const (
+	ClassCMOS CoreClass = "cmos"
+	ClassTFET CoreClass = "tfet"
+)
+
+// ClassCost is the measured cost of serving one request of a workload on
+// one core class at the nominal operating point: service time in seconds
+// and dynamic energy in joules. Frequency scaling is applied by the
+// simulator on top.
+type ClassCost struct {
+	ServiceSec float64
+	DynJ       float64
+}
+
+// WorkloadLoad describes one workload in the traffic mix as the
+// scheduler sees it: its share of the request stream, its Amdahl serial
+// fraction (a proxy for latency criticality — serial code wants the fast
+// CMOS core), the cache-locality stats measured from the 1-core
+// component runs (misses per kilo-instruction; low MPKI means the
+// working set lives in cache and tolerates the slower TFET core), and
+// the per-class request costs.
+type WorkloadLoad struct {
+	Name       string
+	Share      float64 // fraction of offered requests, sums to 1 over the mix
+	SerialFrac float64
+	DL1MPKI    float64 // CMOS-core DL1 misses per kilo-instruction
+	L2MPKI     float64 // CMOS-core L2 misses per kilo-instruction
+	CMOS       ClassCost
+	TFET       ClassCost
+}
+
+// EpochState is everything a policy may condition on for one epoch.
+// Policies must be pure functions of this state: traffic results are
+// memoized byte-for-byte across processes.
+type EpochState struct {
+	// Epoch is the zero-based epoch index; EpochSec its length.
+	Epoch    int
+	EpochSec float64
+	// OfferedRPS is the trace's request rate this epoch; QueueLen the
+	// backlog carried in from previous epochs.
+	OfferedRPS float64
+	QueueLen   int
+	// Utilization is the previous epoch's busy fraction of awake
+	// core-time, in [0, 1] (0 on the first epoch).
+	Utilization float64
+	// CMOSCores and TFETCores are the physical inventory; AwakeCMOS and
+	// AwakeTFET the previous epoch's decision.
+	CMOSCores, TFETCores int
+	AwakeCMOS, AwakeTFET int
+	// LeakWCMOS and LeakWTFET are per-core leakage at nominal voltage.
+	LeakWCMOS, LeakWTFET float64
+	// BudgetW caps estimated chip power when positive.
+	BudgetW float64
+	// NominalGHz is the matched-pair nominal clock; MinGHz and MaxGHz
+	// bound the DVFS range the simulator accepts.
+	NominalGHz, MinGHz, MaxGHz float64
+	// Workloads is the traffic mix, sorted by name.
+	Workloads []WorkloadLoad
+}
+
+// EpochDecision is a policy's output for one epoch. The simulator clamps
+// awake counts to the inventory (keeping at least one core awake) and
+// the frequency to the solvable DVFS range.
+type EpochDecision struct {
+	AwakeCMOS, AwakeTFET int
+	// FreqGHz is the matched DVFS point for the epoch (0 means nominal).
+	FreqGHz float64
+	// Affinity maps workload name to preferred core class; workloads
+	// absent from the map take the best available core.
+	Affinity map[string]CoreClass
+}
+
+// Scheduler is one wake/sleep + DVFS + placement policy.
+type Scheduler interface {
+	// Name is the policy's registry name (engine keys embed it).
+	Name() string
+	// Decide returns the decision for one epoch. It must be
+	// deterministic in the state.
+	Decide(s EpochState) EpochDecision
+}

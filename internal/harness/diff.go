@@ -10,6 +10,7 @@ import (
 
 	"hetcore/internal/dist"
 	"hetcore/internal/obs"
+	"hetcore/internal/traffic"
 )
 
 // This file is the cross-run regression gate: `hetcore diff` loads two
@@ -176,13 +177,32 @@ func classify(old, new float64, dir diffDirection, tol float64) (deltaPct float6
 
 // diffFile is the sniffed union of the supported payloads.
 type diffFile struct {
-	report *obs.Report
-	bench  *BenchRecord
-	load   *dist.LoadRecord
+	report  *obs.Report
+	bench   *BenchRecord
+	load    *dist.LoadRecord
+	traffic *traffic.Report
+}
+
+// kind names the sniffed payload kind, with its schema where it has one,
+// so a mismatched-kind diff can say what each side actually is.
+func (f diffFile) kind() string {
+	switch {
+	case f.report != nil:
+		return fmt.Sprintf("metrics report (%s)", obs.SchemaVersion)
+	case f.bench != nil:
+		return "bench record"
+	case f.load != nil:
+		return fmt.Sprintf("load record (%s)", dist.LoadSchemaVersion)
+	case f.traffic != nil:
+		return fmt.Sprintf("traffic report (%s)", traffic.SchemaVersion)
+	default:
+		return "unknown payload"
+	}
 }
 
 // loadDiffFile reads path and decides whether it is a -metrics-out
-// report, a BENCH_sim_rate.json record or a BENCH_load.json record.
+// report, a BENCH_sim_rate.json record, a BENCH_load.json record or a
+// traffic report.
 func loadDiffFile(path string) (diffFile, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -192,7 +212,20 @@ func loadDiffFile(path string) (diffFile, error) {
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		return diffFile{}, fmt.Errorf("%s: not a JSON object: %w", path, err)
 	}
+	var schema string
+	if probe["schema"] != nil {
+		_ = json.Unmarshal(probe["schema"], &schema)
+	}
 	switch {
+	case schema == traffic.SchemaVersion:
+		var r traffic.Report
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return diffFile{}, fmt.Errorf("%s: decoding traffic report: %w", path, err)
+		}
+		if err := r.Validate(); err != nil {
+			return diffFile{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return diffFile{traffic: &r}, nil
 	case probe["manifest"] != nil:
 		var r obs.Report
 		if err := json.Unmarshal(raw, &r); err != nil {
@@ -220,7 +253,7 @@ func loadDiffFile(path string) (diffFile, error) {
 		}
 		return diffFile{load: &l}, nil
 	default:
-		return diffFile{}, fmt.Errorf("%s: not a metrics report (manifest), bench record (cpu_insts_per_sec) or load record (requests_per_sec)", path)
+		return diffFile{}, fmt.Errorf("%s: not a metrics report (manifest), bench record (cpu_insts_per_sec), load record (requests_per_sec) or traffic report (schema %s)", path, traffic.SchemaVersion)
 	}
 }
 
@@ -241,9 +274,56 @@ func DiffFiles(oldPath, newPath string, opts DiffOptions) (DiffResult, error) {
 		return DiffBench(*a.bench, *b.bench, opts), nil
 	case a.load != nil && b.load != nil:
 		return DiffLoad(*a.load, *b.load, opts), nil
+	case a.traffic != nil && b.traffic != nil:
+		return DiffTraffic(*a.traffic, *b.traffic, opts), nil
 	default:
-		return DiffResult{}, fmt.Errorf("cannot diff payloads of different kinds (%s vs %s)", oldPath, newPath)
+		return DiffResult{}, fmt.Errorf("cannot diff payloads of different kinds: %s is a %s, %s is a %s",
+			oldPath, a.kind(), newPath, b.kind())
 	}
+}
+
+// DiffTraffic compares two traffic reports scenario by scenario. The
+// simulation is deterministic, so everything uses the strict RelTol:
+// energy per request, latency quantiles and SLO accounting may only
+// fall; the offered request count must match exactly. Scenarios that
+// disappeared regress; new ones are noted as ok.
+func DiffTraffic(old, new traffic.Report, opts DiffOptions) DiffResult {
+	opts = opts.withDefaults()
+	res := DiffResult{Kind: "traffic"}
+	add := func(metric string, o, n float64, dir diffDirection, tol float64) {
+		d, st := classify(o, n, dir, tol)
+		res.Rows = append(res.Rows, DiffRow{Metric: metric, Old: o, New: n, DeltaPct: d, Status: st})
+	}
+	newByName := make(map[string]traffic.Result, len(new.Scenarios))
+	for _, s := range new.Scenarios {
+		newByName[s.Scenario] = s
+	}
+	for _, o := range old.Scenarios {
+		k := o.Scenario + "/" + o.Trace
+		n, ok := newByName[o.Scenario]
+		if !ok {
+			res.Rows = append(res.Rows, DiffRow{Metric: k + ".missing",
+				Old: 1, New: 0, DeltaPct: -100, Status: "REGRESSED"})
+			continue
+		}
+		add(k+".requests", float64(o.Requests), float64(n.Requests), exactMatch, opts.RelTol)
+		add(k+".energy_per_req_j", o.EnergyPerReqJ, n.EnergyPerReqJ, lowerBetter, opts.RelTol)
+		add(k+".p50_sec", o.P50Sec, n.P50Sec, lowerBetter, opts.RelTol)
+		add(k+".p99_sec", o.P99Sec, n.P99Sec, lowerBetter, opts.RelTol)
+		add(k+".slo_violations", float64(o.SLOViolations), float64(n.SLOViolations), lowerBetter, opts.RelTol)
+		add(k+".deadline_misses", float64(o.DeadlineMisses), float64(n.DeadlineMisses), lowerBetter, opts.RelTol)
+	}
+	oldByName := make(map[string]bool, len(old.Scenarios))
+	for _, s := range old.Scenarios {
+		oldByName[s.Scenario] = true
+	}
+	for _, s := range new.Scenarios {
+		if !oldByName[s.Scenario] {
+			res.Rows = append(res.Rows, DiffRow{Metric: s.Scenario + "/" + s.Trace + ".new",
+				Old: 0, New: 1, Status: "ok"})
+		}
+	}
+	return res
 }
 
 // DiffBench compares two simulation-rate benchmark records. Rates are

@@ -43,6 +43,8 @@ func Experiments() []Experiment {
 		{ID: "socbreak", Title: "SoC per-config time/energy breakdown", PaperRef: "ROADMAP", Run: SoCBreak},
 		{ID: "accel", Title: "Per-kernel accelerators vs AdvHet GPU", PaperRef: "ROADMAP", Run: Accel},
 		{ID: "socaccel", Title: "SoC class-best comparison (cores vs GPU vs accelerators)", PaperRef: "ROADMAP", Run: SoCAccel},
+		{ID: "traffic", Title: "Diurnal traffic: mixes × scheduling policies", PaperRef: "ROADMAP", Run: Traffic},
+		{ID: "traffic_policies", Title: "Scheduling-policy ablation across traffic traces", PaperRef: "ROADMAP", Run: TrafficPolicies},
 		{ID: "ablations", Title: "Per-mechanism design ablations", PaperRef: "DESIGN.md", Run: Ablations},
 		{ID: "cycles", Title: "Top-down CPU cycle attribution", PaperRef: "DESIGN.md", Run: CPUCycles},
 		{ID: "gpucycles", Title: "Top-down GPU cycle attribution", PaperRef: "DESIGN.md", Run: GPUCycles},

@@ -47,8 +47,8 @@ func TestTableHelpers(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("%d experiments, want 23", len(exps))
+	if len(exps) != 25 {
+		t.Fatalf("%d experiments, want 25", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -62,7 +62,8 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	for _, id := range []string{"table1", "fig1", "fig2", "fig3", "table2", "table3",
 		"table4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"migration", "soc", "socbreak", "accel", "socaccel", "ablations", "cycles", "gpucycles"} {
+		"migration", "soc", "socbreak", "accel", "socaccel", "traffic", "traffic_policies",
+		"ablations", "cycles", "gpucycles"} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
 		}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"hetcore/internal/dist"
+	"hetcore/internal/traffic"
 )
 
 // This file is the trend layer over the benchmark records: `hetcore
@@ -24,15 +25,17 @@ import (
 const TrendSchemaVersion = "hetcore.trend/v1"
 
 // HistoryEntry is one appended benchmark measurement: exactly one of
-// Bench or Load is set, matching Kind ("bench" or "load").
+// Bench, Load or Traffic is set, matching Kind ("bench", "load" or
+// "traffic").
 type HistoryEntry struct {
 	Schema    string `json:"schema"`
 	Kind      string `json:"kind"`
 	UnixSec   int64  `json:"unix_sec"`
 	GoVersion string `json:"go_version"`
 
-	Bench *BenchRecord     `json:"bench,omitempty"`
-	Load  *dist.LoadRecord `json:"load,omitempty"`
+	Bench   *BenchRecord     `json:"bench,omitempty"`
+	Load    *dist.LoadRecord `json:"load,omitempty"`
+	Traffic *traffic.Report  `json:"traffic,omitempty"`
 }
 
 // validate checks the entry invariants.
@@ -48,6 +51,10 @@ func (e HistoryEntry) validate() error {
 	case "load":
 		if e.Load == nil {
 			return fmt.Errorf("harness: load history entry without load record")
+		}
+	case "traffic":
+		if e.Traffic == nil {
+			return fmt.Errorf("harness: traffic history entry without traffic report")
 		}
 	default:
 		return fmt.Errorf("harness: unknown history entry kind %q", e.Kind)
@@ -196,6 +203,8 @@ func Trend(entries []HistoryEntry, window int, opts DiffOptions) TrendResult {
 				kr.Diff = DiffBench(medianBench(prior), *newest.Bench, opts)
 			case "load":
 				kr.Diff = DiffLoad(medianLoad(prior), *newest.Load, opts)
+			case "traffic":
+				kr.Diff = DiffTraffic(medianTraffic(prior), *newest.Traffic, opts)
 			}
 		}
 		res.Kinds = append(res.Kinds, kr)
@@ -267,6 +276,55 @@ func medianLoad(prior []HistoryEntry) dist.LoadRecord {
 	}
 }
 
+// medianTraffic builds a synthetic baseline report: per scenario seen in
+// the prior entries, the field-wise median of the compared metrics. The
+// simulation is deterministic, so the medians normally equal every
+// entry; the median shields the gate from one bad historical entry all
+// the same.
+func medianTraffic(prior []HistoryEntry) traffic.Report {
+	type agg struct {
+		res                    traffic.Result
+		epr, p50, p99, slo, dl []float64
+		reqs                   []float64
+	}
+	byName := map[string]*agg{}
+	var order []string
+	for _, e := range prior {
+		for _, s := range e.Traffic.Scenarios {
+			a := byName[s.Scenario]
+			if a == nil {
+				a = &agg{res: s}
+				byName[s.Scenario] = a
+				order = append(order, s.Scenario)
+			}
+			a.reqs = append(a.reqs, float64(s.Requests))
+			a.epr = append(a.epr, s.EnergyPerReqJ)
+			a.p50 = append(a.p50, s.P50Sec)
+			a.p99 = append(a.p99, s.P99Sec)
+			a.slo = append(a.slo, float64(s.SLOViolations))
+			a.dl = append(a.dl, float64(s.DeadlineMisses))
+		}
+	}
+	sort.Strings(order)
+	rep := traffic.Report{Schema: traffic.SchemaVersion}
+	if len(prior) > 0 {
+		rep.Trace = prior[len(prior)-1].Traffic.Trace
+		rep.SLOMS = prior[len(prior)-1].Traffic.SLOMS
+	}
+	for _, name := range order {
+		a := byName[name]
+		r := a.res
+		r.Requests = uint64(median(a.reqs))
+		r.EnergyPerReqJ = median(a.epr)
+		r.P50Sec = median(a.p50)
+		r.P99Sec = median(a.p99)
+		r.SLOViolations = uint64(median(a.slo))
+		r.DeadlineMisses = uint64(median(a.dl))
+		rep.Scenarios = append(rep.Scenarios, r)
+	}
+	return rep
+}
+
 // NewBenchHistoryEntry wraps a bench record for the history file.
 // unixSec stamps the measurement time (clock-read by the caller so
 // library code stays deterministic under test).
@@ -282,5 +340,13 @@ func NewLoadHistoryEntry(l dist.LoadRecord, unixSec int64) HistoryEntry {
 	return HistoryEntry{
 		Schema: TrendSchemaVersion, Kind: "load",
 		UnixSec: unixSec, GoVersion: l.GoVersion, Load: &l,
+	}
+}
+
+// NewTrafficHistoryEntry wraps a traffic report for the history file.
+func NewTrafficHistoryEntry(r traffic.Report, goVersion string, unixSec int64) HistoryEntry {
+	return HistoryEntry{
+		Schema: TrendSchemaVersion, Kind: "traffic",
+		UnixSec: unixSec, GoVersion: goVersion, Traffic: &r,
 	}
 }

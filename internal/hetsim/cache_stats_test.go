@@ -1,0 +1,76 @@
+package hetsim
+
+import (
+	"math"
+	"testing"
+
+	"hetcore/internal/obs"
+	"hetcore/internal/trace"
+)
+
+// TestRunCPUCacheStats pins the measured-region cache stats a CPU run
+// exports for the traffic scheduler: the MPKI fields must agree with
+// the miss counters the run pushes into the registry (the sum
+// invariant), occupancies must be valid fractions, and the per-run
+// gauges must carry the exact same values as the result fields.
+func TestRunCPUCacheStats(t *testing.T) {
+	cfg, _ := CPUConfigByName("BaseCMOS")
+	prof, _ := trace.CPUWorkload("canneal")
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	opts := quickOpts
+	opts.Obs = o
+	r, err := RunCPU(cfg, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sum invariant: MPKI re-derives from the registry miss counters,
+	// which accumulate the same measured-region delta.
+	snap := o.Reg().Snapshot()
+	misses := func(level string) float64 {
+		return float64(snap.Counters["cache."+level+".read_misses"] +
+			snap.Counters["cache."+level+".write_misses"])
+	}
+	insts := float64(r.Instructions)
+	for _, tc := range []struct {
+		level string
+		got   float64
+	}{
+		{"dl1", r.DL1MPKI},
+		{"l2", r.L2MPKI},
+		{"l3", r.L3MPKI},
+	} {
+		want := misses(tc.level) * 1000 / insts
+		if math.Abs(tc.got-want) > 1e-9 {
+			t.Errorf("%s MPKI = %v, registry counters give %v", tc.level, tc.got, want)
+		}
+	}
+	if r.DL1MPKI <= 0 || r.L2MPKI <= 0 {
+		t.Errorf("expected nonzero DL1/L2 MPKI, got %v / %v", r.DL1MPKI, r.L2MPKI)
+	}
+
+	// Occupancies are valid fractions, and a run that misses at all
+	// must have touched its caches.
+	for name, v := range map[string]float64{
+		"l1d": r.DL1Occupancy, "l2": r.L2Occupancy, "l3": r.L3Occupancy,
+	} {
+		if v <= 0 || v > 1 {
+			t.Errorf("%s occupancy %v out of (0, 1]", name, v)
+		}
+	}
+
+	// The per-run gauges mirror the result fields exactly.
+	prefix := "cpu.BaseCMOS.canneal."
+	for name, want := range map[string]float64{
+		"cache.l1d_mpki":      r.DL1MPKI,
+		"cache.l2_mpki":       r.L2MPKI,
+		"cache.l3_mpki":       r.L3MPKI,
+		"cache.l1d_occupancy": r.DL1Occupancy,
+		"cache.l2_occupancy":  r.L2Occupancy,
+		"cache.l3_occupancy":  r.L3Occupancy,
+	} {
+		if got := snap.Gauges[prefix+name]; got != want {
+			t.Errorf("gauge %s = %v, want %v", prefix+name, got, want)
+		}
+	}
+}

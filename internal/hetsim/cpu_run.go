@@ -72,6 +72,13 @@ type CPUResult struct {
 	DL1HitRate     float64
 	FastHitRate    float64 // asymmetric DL1 CMOS-way hit rate (0 if plain)
 
+	// Cache locality of the measured region: misses per kilo-instruction
+	// at each data level, plus the end-of-run valid-line occupancy of
+	// the arrays. The traffic scheduler's cache-aware policy keys off
+	// these measured values.
+	DL1MPKI, L2MPKI, L3MPKI                float64
+	DL1Occupancy, L2Occupancy, L3Occupancy float64
+
 	// CoreCycles sums measured cycles over all cores; Attr bins each of
 	// them into one top-down bucket (Attr.Total() == CoreCycles).
 	CoreCycles uint64
@@ -282,6 +289,14 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 		DL1HitRate:   counts.DL1.HitRate(),
 		CoreCycles:   coreCycles, Attr: attr,
 	}
+	if insts > 0 {
+		perKilo := 1000 / float64(insts)
+		res.DL1MPKI = float64(counts.DL1.Misses()) * perKilo
+		res.L2MPKI = float64(counts.L2.Misses()) * perKilo
+		res.L3MPKI = float64(counts.L3.Misses()) * perKilo
+	}
+	occ := hier.Occupancy()
+	res.DL1Occupancy, res.L2Occupancy, res.L3Occupancy = occ.DL1, occ.L2, occ.L3
 	if cfg.Hier.AsymDL1 {
 		fa, sl := counts.DL1Fast, counts.DL1Slow
 		if total := fa.Accesses(); total > 0 {
@@ -304,6 +319,22 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 			counts.Visit(func(name string, v uint64) {
 				reg.Counter(name).Add(v)
 			})
+			// Per-run locality gauges. The run prefix keeps concurrent
+			// engine jobs on disjoint gauge names: a bare cache.l1d_mpki
+			// would be last-write-wins across jobs and make the metrics
+			// snapshot depend on completion order, breaking the
+			// -jobs=1 vs -jobs=N byte-identical report contract.
+			prefix := "cpu." + cfg.Name + "." + prof.Name + "."
+			for name, v := range map[string]float64{
+				"cache.l1d_mpki":      res.DL1MPKI,
+				"cache.l2_mpki":       res.L2MPKI,
+				"cache.l3_mpki":       res.L3MPKI,
+				"cache.l1d_occupancy": res.DL1Occupancy,
+				"cache.l2_occupancy":  res.L2Occupancy,
+				"cache.l3_occupancy":  res.L3Occupancy,
+			} {
+				reg.Gauge(prefix + name).Set(v)
+			}
 		}
 		if tr.Enabled() && timeSec > 0 {
 			tr.CounterSample(pid, "avg_power_w",
@@ -321,6 +352,12 @@ func RunCPU(cfg CPUConfig, prof trace.Profile, opts RunOpts) (CPUResult, error) 
 				"dl1_hit_rate":    res.DL1HitRate,
 				"fast_hit_rate":   res.FastHitRate,
 				"mispredict_rate": res.MispredictRate,
+				"l1d_mpki":        res.DL1MPKI,
+				"l2_mpki":         res.L2MPKI,
+				"l3_mpki":         res.L3MPKI,
+				"l1d_occupancy":   res.DL1Occupancy,
+				"l2_occupancy":    res.L2Occupancy,
+				"l3_occupancy":    res.L3Occupancy,
 			},
 		}, wallStart, insts+uint64(n)*opts.WarmupInstructions)
 	}

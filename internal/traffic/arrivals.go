@@ -1,0 +1,47 @@
+package traffic
+
+import "hetcore/internal/trace"
+
+// Request is one offered request: an arrival time on the trace's clock
+// and an index into the workload mix.
+type Request struct {
+	ArriveSec float64
+	Workload  int
+}
+
+// Arrivals expands a trace into the concrete request stream: per epoch,
+// round(rps × epochSec) requests, jittered uniformly inside their
+// arrival slot (so the stream stays sorted by time), each drawing a
+// workload uniformly from the mix. The stream is a pure function of
+// (trace, workload count, seed) — the engine caches traffic results by
+// key, so equal keys must replay identical arrivals on every host.
+func Arrivals(t Trace, workloads int, seed uint64) []Request {
+	rng := trace.NewRNG(seed ^ hashName(t.Name))
+	var out []Request
+	for e, rps := range t.RPS {
+		n := int(rps*t.EpochSec + 0.5)
+		if n <= 0 {
+			continue
+		}
+		start := float64(e) * t.EpochSec
+		slot := t.EpochSec / float64(n)
+		for j := 0; j < n; j++ {
+			out = append(out, Request{
+				ArriveSec: start + (float64(j)+rng.Float64())*slot,
+				Workload:  rng.Intn(workloads),
+			})
+		}
+	}
+	return out
+}
+
+// hashName folds a trace name into the arrival seed (FNV-1a) so equal
+// seeds on different traces still draw independent streams.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

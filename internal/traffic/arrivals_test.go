@@ -1,0 +1,74 @@
+package traffic
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// The engine caches traffic results by key, so equal (trace, mix size,
+// seed) must replay identical arrivals on every call and host.
+func TestArrivalsDeterministic(t *testing.T) {
+	tr := Diurnal()
+	a := Arrivals(tr, 14, 7)
+	b := Arrivals(tr, 14, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (trace, workloads, seed) produced different arrival streams")
+	}
+	if c := Arrivals(tr, 14, 8); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical arrival streams")
+	}
+	// Equal seeds on different traces draw independent streams (the
+	// trace name folds into the RNG seed).
+	flat := Flat()
+	flat.RPS = tr.RPS // same curve, different name
+	if d := Arrivals(flat, 14, 7); reflect.DeepEqual(a, d) {
+		t.Error("different trace names produced identical arrival streams")
+	}
+}
+
+func TestArrivalsShape(t *testing.T) {
+	tr := Diurnal()
+	reqs := Arrivals(tr, 14, 1)
+	want := 0
+	for _, rps := range tr.RPS {
+		want += int(rps*tr.EpochSec + 0.5)
+	}
+	if len(reqs) != want {
+		t.Errorf("got %d requests, want %d (sum of per-epoch rounds)", len(reqs), want)
+	}
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].ArriveSec < reqs[j].ArriveSec }) {
+		t.Error("arrival stream is not sorted by time")
+	}
+	end := tr.DurationSec()
+	for _, r := range reqs {
+		if r.ArriveSec < 0 || r.ArriveSec >= end {
+			t.Fatalf("arrival %v outside [0, %v)", r.ArriveSec, end)
+		}
+		if r.Workload < 0 || r.Workload >= 14 {
+			t.Fatalf("workload index %d outside the 14-entry mix", r.Workload)
+		}
+	}
+}
+
+func TestSyntheticTraces(t *testing.T) {
+	for _, name := range TraceNames() {
+		tr, err := TraceByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Synthetic curves are part of the engine key's identity: they
+		// must be reproducible call to call.
+		again, _ := TraceByName(name)
+		if !reflect.DeepEqual(tr, again) {
+			t.Errorf("%s: synthetic curve is not reproducible", name)
+		}
+	}
+	d := Diurnal()
+	if d.RPS[0] >= d.PeakRPS() {
+		t.Error("diurnal trace should start at its trough")
+	}
+}

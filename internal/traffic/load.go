@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Trace files hold one (epoch length, rate) sample per row — CSV with an
+// optional "epoch_sec,rps" header, or JSONL with one
+// {"epoch_sec": 1, "rps": 300} object per line. The epoch length must be
+// uniform across rows (the simulator steps a fixed grid). Malformed rows
+// fail with the file name and line number.
+
+// LoadTrace reads a trace file, dispatching on the extension (.csv or
+// .jsonl). The trace takes its name from the file's base name.
+func LoadTrace(path string) (Trace, error) {
+	ext := strings.ToLower(filepath.Ext(path))
+	if ext != ".csv" && ext != ".jsonl" {
+		return Trace{}, fmt.Errorf("traffic: %s: unsupported trace format %q (want .csv or .jsonl)", path, ext)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Trace{}, fmt.Errorf("traffic: %w", err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	var t Trace
+	if ext == ".csv" {
+		t, err = parseCSV(path, name, string(data))
+	} else {
+		t, err = parseJSONL(path, name, string(data))
+	}
+	if err != nil {
+		return Trace{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// addRow appends one (epochSec, rps) sample, enforcing the uniform grid.
+func (t *Trace) addRow(path string, lineNo int, epochSec, rps float64) error {
+	if !(epochSec > 0) {
+		return fmt.Errorf("traffic: %s:%d: epoch_sec must be positive, got %v", path, lineNo, epochSec)
+	}
+	if rps < 0 {
+		return fmt.Errorf("traffic: %s:%d: rps must be non-negative, got %v", path, lineNo, rps)
+	}
+	if len(t.RPS) == 0 {
+		t.EpochSec = epochSec
+	} else if epochSec != t.EpochSec {
+		return fmt.Errorf("traffic: %s:%d: epoch_sec %v differs from first row's %v (the grid must be uniform)",
+			path, lineNo, epochSec, t.EpochSec)
+	}
+	t.RPS = append(t.RPS, rps)
+	return nil
+}
+
+func parseCSV(path, name, data string) (Trace, error) {
+	t := Trace{Name: name}
+	for i, line := range strings.Split(data, "\n") {
+		lineNo := i + 1
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(t.RPS) == 0 && line == "epoch_sec,rps" {
+			continue // header row
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 2 {
+			return Trace{}, fmt.Errorf("traffic: %s:%d: want 2 fields (epoch_sec,rps), got %d", path, lineNo, len(fields))
+		}
+		epochSec, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("traffic: %s:%d: bad epoch_sec %q", path, lineNo, strings.TrimSpace(fields[0]))
+		}
+		rps, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("traffic: %s:%d: bad rps %q", path, lineNo, strings.TrimSpace(fields[1]))
+		}
+		if err := t.addRow(path, lineNo, epochSec, rps); err != nil {
+			return Trace{}, err
+		}
+	}
+	return t, nil
+}
+
+func parseJSONL(path, name, data string) (Trace, error) {
+	t := Trace{Name: name}
+	for i, line := range strings.Split(data, "\n") {
+		lineNo := i + 1
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var row struct {
+			EpochSec *float64 `json:"epoch_sec"`
+			RPS      *float64 `json:"rps"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			return Trace{}, fmt.Errorf("traffic: %s:%d: bad JSON row: %v", path, lineNo, err)
+		}
+		if row.EpochSec == nil || row.RPS == nil {
+			return Trace{}, fmt.Errorf("traffic: %s:%d: row needs both epoch_sec and rps", path, lineNo)
+		}
+		if err := t.addRow(path, lineNo, *row.EpochSec, *row.RPS); err != nil {
+			return Trace{}, err
+		}
+	}
+	return t, nil
+}
+
+// ResolveTrace maps a -trace value to a trace: values naming a file
+// (containing a path separator or a recognised extension) load from
+// disk, everything else resolves against the synthetic registry. The
+// bool reports the file case — file curves are not part of the stock
+// key space, so callers route them to Variant keys.
+func ResolveTrace(v string) (Trace, bool, error) {
+	if strings.ContainsRune(v, os.PathSeparator) ||
+		strings.HasSuffix(v, ".csv") || strings.HasSuffix(v, ".jsonl") {
+		t, err := LoadTrace(v)
+		return t, true, err
+	}
+	t, err := TraceByName(v)
+	return t, false, err
+}

@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLoadTraceGolden(t *testing.T) {
+	cases := []struct {
+		path string
+		want Trace
+	}{
+		{"testdata/ramp.csv", Trace{Name: "ramp", EpochSec: 1, RPS: []float64{100, 200, 300}}},
+		{"testdata/spike.jsonl", Trace{Name: "spike", EpochSec: 0.5, RPS: []float64{50, 400, 50}}},
+	}
+	for _, c := range cases {
+		got, err := LoadTrace(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %+v, want %+v", c.path, got, c.want)
+		}
+	}
+}
+
+// Malformed rows must fail with the file name and the 1-based line
+// number, so the operator can fix the exact row.
+func TestLoadTraceMalformed(t *testing.T) {
+	cases := []struct {
+		path    string
+		wantSub string
+	}{
+		{"testdata/bad_fields.csv", "bad_fields.csv:3: want 2 fields"},
+		{"testdata/bad_rps.csv", `bad_rps.csv:2: bad rps "many"`},
+		{"testdata/mixed_grid.csv", "mixed_grid.csv:3: epoch_sec 2 differs from first row's 1"},
+		{"testdata/bad_row.jsonl", "bad_row.jsonl:2: bad JSON row"},
+		{"testdata/missing_field.jsonl", "missing_field.jsonl:2: row needs both epoch_sec and rps"},
+		{"testdata/nope.txt", `unsupported trace format ".txt"`},
+	}
+	for _, c := range cases {
+		_, err := LoadTrace(c.path)
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got nil", c.path, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.path, err, c.wantSub)
+		}
+	}
+}
+
+func TestResolveTrace(t *testing.T) {
+	if tr, file, err := ResolveTrace("testdata/ramp.csv"); err != nil || tr.Name != "ramp" || !file {
+		t.Errorf("file resolve: got (%v, %v, %v)", tr.Name, file, err)
+	}
+	if tr, file, err := ResolveTrace("diurnal"); err != nil || tr.Name != "diurnal" || file {
+		t.Errorf("synthetic resolve: got (%v, %v, %v)", tr.Name, file, err)
+	}
+}
+
+// Unknown -trace values must suggest the closest registered name.
+func TestTraceByNameNearest(t *testing.T) {
+	cases := []struct{ in, wantErr string }{
+		{"diurnel", `traffic: unknown trace "diurnel" (closest match "diurnal"; have [bursty diurnal flat])`},
+		{"burst", `traffic: unknown trace "burst" (closest match "bursty"; have [bursty diurnal flat])`},
+	}
+	for _, c := range cases {
+		_, err := TraceByName(c.in)
+		if err == nil || err.Error() != c.wantErr {
+			t.Errorf("TraceByName(%q):\n got  %v\n want %s", c.in, err, c.wantErr)
+		}
+	}
+}

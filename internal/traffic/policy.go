@@ -1,0 +1,255 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetcore/internal/governor"
+	"hetcore/internal/names"
+)
+
+// The three pluggable policies of the ablation. All are pure functions
+// of the EpochState (results are memoized by key), and all express their
+// output through the same governor.EpochDecision surface the simulator
+// clamps and executes.
+
+// utilTarget is the provisioning set point of the reactive policies:
+// wake enough capacity that the fleet would run at ~65% utilization on
+// the offered load, leaving headroom for in-epoch queueing.
+const utilTarget = 0.65
+
+// NaivePolicy keeps every core awake at the nominal DVFS point — the
+// provisioning-for-peak baseline the ablation measures against.
+type NaivePolicy struct{}
+
+func (NaivePolicy) Name() string { return "naive" }
+
+func (NaivePolicy) Decide(s governor.EpochState) governor.EpochDecision {
+	return governor.EpochDecision{
+		AwakeCMOS: s.CMOSCores,
+		AwakeTFET: s.TFETCores,
+		FreqGHz:   s.NominalGHz,
+	}
+}
+
+// UtilPolicy wakes the cheapest capacity that covers the offered load
+// plus backlog at the utilization set point — TFET cores first (fewest
+// watts per request/s), CMOS spillover — and steps the DVFS point down
+// when the fleet idles or up when a backlog forms. It is cache-blind:
+// requests land on whichever awake core finishes them first.
+type UtilPolicy struct{}
+
+func (UtilPolicy) Name() string { return "util" }
+
+func (UtilPolicy) Decide(s governor.EpochState) governor.EpochDecision {
+	cmSvc, tfSvc := meanServiceSec(s.Workloads)
+	demand := s.OfferedRPS + backlogRPS(s)
+	needRPS := demand / utilTarget
+	capC, capT := perCoreRPS(cmSvc), perCoreRPS(tfSvc)
+	kT, kC, capacity := 0, 0, 0.0
+	for capacity < needRPS && kT < s.TFETCores {
+		kT++
+		capacity += capT
+	}
+	for capacity < needRPS && kC < s.CMOSCores {
+		kC++
+		capacity += capC
+	}
+	d := governor.EpochDecision{
+		AwakeCMOS: kC,
+		AwakeTFET: kT,
+		FreqGHz:   pickFreq(s, demand, capacity),
+	}
+	return clampBudget(s, d)
+}
+
+// CacheAwarePolicy is the THEAS-style scheduler: it reads the measured
+// cache stats of the mix and splits it by locality — workloads whose
+// working set lives in cache (L2 MPKI at or below the mix median) and
+// whose serial fraction is small tolerate the half-rate TFET cores, so
+// they are co-located there; cache-thrashing or serial/latency-critical
+// workloads reserve the CMOS cores. Each class is then provisioned
+// independently at the utilization set point, with TFET overflow
+// spilling onto CMOS capacity.
+type CacheAwarePolicy struct{}
+
+func (CacheAwarePolicy) Name() string { return "cacheaware" }
+
+// cacheAwareSerialMax is the serial-fraction ceiling for TFET
+// placement: above it the workload's critical path wants the fast core.
+const cacheAwareSerialMax = 0.2
+
+func (CacheAwarePolicy) Decide(s governor.EpochState) governor.EpochDecision {
+	med := medianL2MPKI(s.Workloads)
+	aff := make(map[string]governor.CoreClass, len(s.Workloads))
+	var shareT, shareC, svcT, svcC float64
+	for _, w := range s.Workloads {
+		if w.L2MPKI <= med && w.SerialFrac <= cacheAwareSerialMax && s.TFETCores > 0 {
+			aff[w.Name] = governor.ClassTFET
+			shareT += w.Share
+			svcT += w.Share * w.TFET.ServiceSec
+		} else {
+			aff[w.Name] = governor.ClassCMOS
+			shareC += w.Share
+			svcC += w.Share * w.CMOS.ServiceSec
+		}
+	}
+	if shareT > 0 {
+		svcT /= shareT // mean service of the TFET-placed sub-mix
+	}
+	if shareC > 0 {
+		svcC /= shareC
+	}
+
+	demand := s.OfferedRPS + backlogRPS(s)
+	demandT, demandC := demand*shareT, demand*shareC
+
+	// Core-seconds per second each class needs at the set point.
+	needT := demandT * svcT / utilTarget
+	kT := int(math.Ceil(needT))
+	if kT > s.TFETCores {
+		// TFET inventory exhausted: the uncovered share spills to CMOS
+		// (the simulator's affinity fallback routes it there too).
+		if svcT > 0 {
+			demandC += (needT - float64(s.TFETCores)) * utilTarget / svcT
+		}
+		kT = s.TFETCores
+	}
+	if svcC == 0 {
+		// Nothing classed CMOS: price any spillover at the mix mean.
+		svcC, _ = meanServiceSec(s.Workloads)
+	}
+	needC := demandC * svcC / utilTarget
+	kC := int(math.Ceil(needC))
+	if kC > s.CMOSCores {
+		kC = s.CMOSCores
+	}
+
+	capacity := float64(kT)*perCoreRPS(svcT) + float64(kC)*perCoreRPS(svcC)
+	d := governor.EpochDecision{
+		AwakeCMOS: kC,
+		AwakeTFET: kT,
+		FreqGHz:   pickFreq(s, demand, capacity),
+		Affinity:  aff,
+	}
+	return clampBudget(s, d)
+}
+
+// backlogRPS converts the carried queue into an equivalent rate.
+func backlogRPS(s governor.EpochState) float64 {
+	if s.EpochSec <= 0 {
+		return 0
+	}
+	return float64(s.QueueLen) / s.EpochSec
+}
+
+// perCoreRPS converts a mean per-request service time into one core's
+// request throughput at nominal frequency.
+func perCoreRPS(svcSec float64) float64 {
+	if svcSec <= 0 {
+		return 0
+	}
+	return 1 / svcSec
+}
+
+// meanServiceSec returns the share-weighted mean service time per
+// request on each class at nominal frequency.
+func meanServiceSec(ws []governor.WorkloadLoad) (cmos, tfet float64) {
+	for _, w := range ws {
+		cmos += w.Share * w.CMOS.ServiceSec
+		tfet += w.Share * w.TFET.ServiceSec
+	}
+	return cmos, tfet
+}
+
+// medianL2MPKI returns the mix's median CMOS-core L2 MPKI (mean of the
+// middle pair for even counts).
+func medianL2MPKI(ws []governor.WorkloadLoad) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(ws))
+	for i, w := range ws {
+		vals[i] = w.L2MPKI
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// pickFreq steps the shared DVFS point: boost one notch when the fleet
+// is provisioned tight or carrying backlog, step down when demand is
+// well under the awake capacity, nominal otherwise.
+func pickFreq(s governor.EpochState, demandRPS, capacityRPS float64) float64 {
+	f := s.NominalGHz
+	switch {
+	case capacityRPS > 0 && demandRPS > 0.9*capacityRPS:
+		f = math.Min(s.MaxGHz, s.NominalGHz*1.2)
+	case capacityRPS > 0 && demandRPS < 0.4*capacityRPS && s.QueueLen == 0:
+		f = math.Max(s.MinGHz, s.NominalGHz*0.8)
+	}
+	return f
+}
+
+// clampBudget trims awake cores until the estimated chip power (leakage
+// plus fully-busy dynamic draw per awake core) fits the budget, dropping
+// CMOS cores first (highest per-core draw). No-op without a budget.
+func clampBudget(s governor.EpochState, d governor.EpochDecision) governor.EpochDecision {
+	if s.BudgetW <= 0 {
+		return d
+	}
+	cmSvc, tfSvc := meanServiceSec(s.Workloads)
+	var cmDynW, tfDynW float64
+	for _, w := range s.Workloads {
+		if cmSvc > 0 {
+			cmDynW += w.Share * w.CMOS.DynJ / cmSvc
+		}
+		if tfSvc > 0 {
+			tfDynW += w.Share * w.TFET.DynJ / tfSvc
+		}
+	}
+	power := func(kC, kT int) float64 {
+		return float64(kC)*(s.LeakWCMOS+cmDynW) + float64(kT)*(s.LeakWTFET+tfDynW)
+	}
+	for power(d.AwakeCMOS, d.AwakeTFET) > s.BudgetW && d.AwakeCMOS+d.AwakeTFET > 1 {
+		if d.AwakeCMOS > 0 {
+			d.AwakeCMOS--
+		} else {
+			d.AwakeTFET--
+		}
+	}
+	return d
+}
+
+// Policies returns the ablation set in registry order.
+func Policies() []governor.Scheduler {
+	return []governor.Scheduler{NaivePolicy{}, UtilPolicy{}, CacheAwarePolicy{}}
+}
+
+// PolicyNames lists the registry, in order.
+func PolicyNames() []string {
+	ps := Policies()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// PolicyByName resolves a -policy value. A miss names the closest known
+// policy, matching the experiment registry's behaviour.
+func PolicyByName(name string) (governor.Scheduler, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	ns := PolicyNames()
+	sort.Strings(ns)
+	return nil, fmt.Errorf("traffic: unknown policy %q (closest match %q; have %v)",
+		name, names.Nearest(name, ns), ns)
+}

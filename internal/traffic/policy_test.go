@@ -1,0 +1,126 @@
+package traffic
+
+import (
+	"testing"
+
+	"hetcore/internal/governor"
+)
+
+// testState builds a plausible epoch state: an 8-core c4t4 fleet, ~1 ms
+// CMOS and ~2 ms TFET requests, half the mix cache-friendly.
+func testState(offeredRPS float64) governor.EpochState {
+	ws := []governor.WorkloadLoad{
+		{Name: "friendly", Share: 0.5, SerialFrac: 0.05, L2MPKI: 0.2,
+			CMOS: governor.ClassCost{ServiceSec: 0.001, DynJ: 2e-5},
+			TFET: governor.ClassCost{ServiceSec: 0.002, DynJ: 1e-5}},
+		{Name: "thrashy", Share: 0.5, SerialFrac: 0.3, L2MPKI: 8,
+			CMOS: governor.ClassCost{ServiceSec: 0.0012, DynJ: 2.4e-5},
+			TFET: governor.ClassCost{ServiceSec: 0.0024, DynJ: 1.2e-5}},
+	}
+	return governor.EpochState{
+		EpochSec: 1, OfferedRPS: offeredRPS,
+		CMOSCores: 4, TFETCores: 4, AwakeCMOS: 4, AwakeTFET: 4,
+		LeakWCMOS: 0.1, LeakWTFET: 0.01,
+		NominalGHz: 2, MinGHz: 1.2, MaxGHz: 3,
+		Workloads: ws,
+	}
+}
+
+func TestNaivePolicy(t *testing.T) {
+	d := NaivePolicy{}.Decide(testState(100))
+	if d.AwakeCMOS != 4 || d.AwakeTFET != 4 || d.FreqGHz != 2 {
+		t.Errorf("naive should keep the full fleet at nominal, got %+v", d)
+	}
+}
+
+func TestUtilPolicyScalesWithLoad(t *testing.T) {
+	low := UtilPolicy{}.Decide(testState(100))
+	high := UtilPolicy{}.Decide(testState(4000))
+	if low.AwakeCMOS+low.AwakeTFET >= high.AwakeCMOS+high.AwakeTFET {
+		t.Errorf("util should wake more cores under more load: low=%+v high=%+v", low, high)
+	}
+	if low.AwakeTFET == 0 {
+		t.Errorf("util should prefer TFET capacity first, got %+v", low)
+	}
+	if low.AwakeCMOS+low.AwakeTFET >= 8 {
+		t.Errorf("util should sleep most of the fleet at 100 rps, got %+v", low)
+	}
+}
+
+func TestCacheAwareAffinity(t *testing.T) {
+	d := CacheAwarePolicy{}.Decide(testState(1000))
+	if d.Affinity["friendly"] != governor.ClassTFET {
+		t.Errorf("cache-friendly low-serial workload should map to TFET, got %v", d.Affinity["friendly"])
+	}
+	if d.Affinity["thrashy"] != governor.ClassCMOS {
+		t.Errorf("cache-thrashing serial workload should map to CMOS, got %v", d.Affinity["thrashy"])
+	}
+	if d.AwakeTFET == 0 || d.AwakeCMOS == 0 {
+		t.Errorf("both classes carry load, both need awake cores: %+v", d)
+	}
+}
+
+// Without TFET inventory the cache-aware policy must not strand its
+// TFET-classed share: everything maps (and provisions) CMOS.
+func TestCacheAwareNoTFET(t *testing.T) {
+	s := testState(1000)
+	s.TFETCores, s.AwakeTFET = 0, 0
+	d := CacheAwarePolicy{}.Decide(s)
+	if d.AwakeTFET != 0 {
+		t.Errorf("woke %d TFET cores on a fleet that has none", d.AwakeTFET)
+	}
+	if d.Affinity["friendly"] != governor.ClassCMOS {
+		t.Error("with no TFET cores every workload should map to CMOS")
+	}
+	if d.AwakeCMOS == 0 {
+		t.Error("the whole load lands on CMOS; some must be awake")
+	}
+}
+
+func TestClampBudget(t *testing.T) {
+	s := testState(4000)
+	s.BudgetW = 0.15 // room for ~1 CMOS core's leak+dyn draw
+	d := NaivePolicy{}.Decide(s)
+	c := clampBudget(s, d)
+	if c.AwakeCMOS+c.AwakeTFET >= d.AwakeCMOS+d.AwakeTFET {
+		t.Errorf("budget clamp should drop cores: %+v -> %+v", d, c)
+	}
+	if c.AwakeCMOS+c.AwakeTFET < 1 {
+		t.Errorf("budget clamp must keep at least one core, got %+v", c)
+	}
+	if c.AwakeCMOS > 0 && c.AwakeTFET < d.AwakeTFET {
+		t.Errorf("clamp should drop CMOS cores before TFET: %+v", c)
+	}
+}
+
+func TestPickFreq(t *testing.T) {
+	s := testState(0)
+	if f := pickFreq(s, 950, 1000); f <= s.NominalGHz {
+		t.Errorf("tight provisioning should boost, got %.2f", f)
+	}
+	if f := pickFreq(s, 100, 1000); f >= s.NominalGHz {
+		t.Errorf("idle fleet should step down, got %.2f", f)
+	}
+	if f := pickFreq(s, 600, 1000); f != s.NominalGHz {
+		t.Errorf("mid-range demand should hold nominal, got %.2f", f)
+	}
+}
+
+// Unknown -policy values must suggest the closest registered name.
+func TestPolicyByNameNearest(t *testing.T) {
+	cases := []struct{ in, wantErr string }{
+		{"cacheware", `traffic: unknown policy "cacheware" (closest match "cacheaware"; have [cacheaware naive util])`},
+		{"nave", `traffic: unknown policy "nave" (closest match "naive"; have [cacheaware naive util])`},
+	}
+	for _, c := range cases {
+		_, err := PolicyByName(c.in)
+		if err == nil || err.Error() != c.wantErr {
+			t.Errorf("PolicyByName(%q):\n got  %v\n want %s", c.in, err, c.wantErr)
+		}
+	}
+	for _, name := range PolicyNames() {
+		if p, err := PolicyByName(name); err != nil || p.Name() != name {
+			t.Errorf("registered policy %q did not resolve: %v", name, err)
+		}
+	}
+}

@@ -44,7 +44,7 @@ echo "== engine determinism (go test -race) =="
 # its tests (plus the harness golden jobs=1-vs-jobs=8 comparison) get an
 # explicit race-enabled pass before the full suite.
 go test -race ./internal/engine/
-go test -race -run 'TestFigTablesDeterministicAcrossJobs|TestEngineCacheSharedAcrossFigures|TestSoCDeterministicAcrossJobs|TestSoCAccelDeterministicAcrossJobs' ./internal/harness/
+go test -race -run 'TestFigTablesDeterministicAcrossJobs|TestEngineCacheSharedAcrossFigures|TestSoCDeterministicAcrossJobs|TestSoCAccelDeterministicAcrossJobs|TestTrafficDeterministicAcrossJobs' ./internal/harness/
 
 echo "== go test -race =="
 go test -race ./...
@@ -182,6 +182,45 @@ if ! grep -q 'TFET accelerator mix' "$tmp/accel-jobs1.txt"; then
     exit 1
 fi
 
+echo "== traffic gate (determinism + cached rerun + energy trend) =="
+# The traffic scenario matrix rides the same engine contract: -jobs
+# widths must render byte-identical tables and reports, and a second run
+# against the same -cache-dir must simulate nothing. The second run also
+# appends its hetcore.traffic/v1 report to the trend history, so the
+# energy-per-request accounting is gated against the committed baseline
+# by the trend step below.
+traffic_run() {
+    # $1: output file, extra args follow.
+    out=$1; shift
+    "$tmp/hetcore" traffic -instr 40000 "$@" >"$out"
+}
+
+traffic_run "$tmp/traffic-jobs1.txt" -jobs 1 -cache-dir "$tmp/traffic-cache" \
+    -o "$tmp/traffic-report1.json"
+traffic_run "$tmp/traffic-jobs8.txt" -jobs 8 -cache-dir "$tmp/traffic-cache" \
+    -o "$tmp/traffic-report2.json" -metrics-out "$tmp/traffic-rerun.json" \
+    -history "$tmp/BENCH_history.jsonl"
+# The stdout tables differ only in the trailing wrote/appended lines.
+grep -v '^wrote \|^appended ' "$tmp/traffic-jobs1.txt" >"$tmp/traffic-jobs1.tbl"
+grep -v '^wrote \|^appended ' "$tmp/traffic-jobs8.txt" >"$tmp/traffic-jobs8.tbl"
+cmp "$tmp/traffic-jobs1.tbl" "$tmp/traffic-jobs8.tbl" || {
+    echo "traffic table differs between -jobs=1 and -jobs=8" >&2
+    exit 1
+}
+cmp "$tmp/traffic-report1.json" "$tmp/traffic-report2.json" || {
+    echo "cached traffic rerun report is not byte-identical" >&2
+    exit 1
+}
+if ! grep -q '"engine_jobs_run": 0' "$tmp/traffic-rerun.json"; then
+    echo "cached traffic rerun still simulated (engine_jobs_run != 0):" >&2
+    grep '"engine_' "$tmp/traffic-rerun.json" >&2
+    exit 1
+fi
+if ! grep -q '"schema": "hetcore.traffic/v1"' "$tmp/traffic-report1.json"; then
+    echo "traffic report missing its schema stamp" >&2
+    exit 1
+fi
+
 echo "== load gate (hetload p99 vs baseline) =="
 # Drive a short closed-loop job stream at the live daemon and gate the
 # client-observed serving latency. With -rate-tol 400 the gate trips
@@ -199,7 +238,7 @@ served_pid=""
 
 echo "== trend gate (hetcore trend) =="
 # The history now holds the committed baseline entries plus this run's
-# bench and load measurements; the newest entry of each kind must not
+# bench, load and traffic measurements; the newest entry of each kind must not
 # regress against the median of its predecessors. Deterministic counts
 # stay exact; host-timing rates share the load gate's loose 400%
 # tolerance so the gate proves the trend pipeline without host flake.
